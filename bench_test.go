@@ -1,0 +1,419 @@
+package chameleon
+
+// Benchmark harness regenerating the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index). Each BenchmarkTable*/Fig*
+// exercises the code path that produces the corresponding artifact on the
+// miniature quick datasets and reports the headline number via
+// b.ReportMetric; `go run ./cmd/experiments` produces the full-scale
+// versions recorded in EXPERIMENTS.md.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"chameleon/internal/anf"
+	"chameleon/internal/centrality"
+	"chameleon/internal/core"
+	"chameleon/internal/exp"
+	"chameleon/internal/gen"
+	"chameleon/internal/hyperanf"
+	"chameleon/internal/metrics"
+	"chameleon/internal/privacy"
+	"chameleon/internal/reliability"
+	"chameleon/internal/uncertain"
+)
+
+func benchConfig() exp.Config {
+	return exp.Config{Quick: true, Seed: 7, Samples: 150, MetricSamples: 5, Pairs: 1000}
+}
+
+func benchGraph(b *testing.B) *uncertain.Graph {
+	b.Helper()
+	cfg := benchConfig()
+	g, err := cfg.BuildDataset(cfg.Datasets()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkTableIDatasets regenerates Table I: dataset construction and
+// characteristic measurement.
+func BenchmarkTableIDatasets(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		for _, d := range cfg.Datasets() {
+			g, err := cfg.BuildDataset(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = g.MeanProb()
+			_ = g.ExpectedAvgDegree()
+		}
+	}
+}
+
+// BenchmarkFig3Distributions regenerates Figure 3: edge-probability and
+// degree distributions of the datasets.
+func BenchmarkFig3Distributions(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cfg.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4RepAnDistortion regenerates one Figure 4 point: the
+// Rep-An structural distortion against the Chameleon lower bound at the
+// smallest k. The resulting ratio is reported as a metric.
+func BenchmarkFig4RepAnDistortion(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PaperKs = []int{100}
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		if r.Chameleon > 0 {
+			gap = r.RepAn / r.Chameleon
+		}
+	}
+	b.ReportMetric(gap, "repan/chameleon-error-ratio")
+}
+
+// benchFigureCell runs one (dataset, method, k) sweep cell and reports
+// the chosen metric; shared by the Figure 8-11 benches.
+func benchFigureCell(b *testing.B, method string, metric func(exp.Run) float64, unit string) {
+	cfg := benchConfig()
+	d := cfg.Datasets()[0]
+	g, err := cfg.BuildDataset(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := cfg.MeasureBaseline(d, g)
+	var last float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := cfg.RunCell(d, g, base, method, 200)
+		if run.Failed {
+			b.Fatalf("cell failed: %s", run.FailReason)
+		}
+		last = metric(run)
+	}
+	b.ReportMetric(last, unit)
+}
+
+// BenchmarkFig8Reliability regenerates Figure 8 cells: reliability
+// preservation per method.
+func BenchmarkFig8Reliability(b *testing.B) {
+	for _, m := range exp.Methods {
+		b.Run(m, func(b *testing.B) {
+			benchFigureCell(b, m, func(r exp.Run) float64 { return r.RelDiscrepancy }, "rel-discrepancy")
+		})
+	}
+}
+
+// BenchmarkFig9AvgDegree regenerates Figure 9 cells: average-node-degree
+// preservation per method.
+func BenchmarkFig9AvgDegree(b *testing.B) {
+	for _, m := range exp.Methods {
+		b.Run(m, func(b *testing.B) {
+			benchFigureCell(b, m, func(r exp.Run) float64 { return r.AvgDegreeErr }, "avg-degree-err")
+		})
+	}
+}
+
+// BenchmarkFig10AvgDistance regenerates Figure 10 cells: average-distance
+// preservation per method.
+func BenchmarkFig10AvgDistance(b *testing.B) {
+	for _, m := range exp.Methods {
+		b.Run(m, func(b *testing.B) {
+			benchFigureCell(b, m, func(r exp.Run) float64 { return r.AvgDistanceErr }, "avg-distance-err")
+		})
+	}
+}
+
+// BenchmarkFig11Clustering regenerates Figure 11 cells: clustering
+// coefficient preservation per method.
+func BenchmarkFig11Clustering(b *testing.B) {
+	for _, m := range exp.Methods {
+		b.Run(m, func(b *testing.B) {
+			benchFigureCell(b, m, func(r exp.Run) float64 { return r.ClusteringErr }, "clustering-err")
+		})
+	}
+}
+
+// BenchmarkERRNaiveVsReuse is the Lemma 2 vs Lemma 3 ablation: cost of
+// the naive per-edge conditional estimator against the sample-reuse
+// estimator of Algorithm 2 on the same workload.
+func BenchmarkERRNaiveVsReuse(b *testing.B) {
+	g, err := exp.ERRCostGraph(120, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := reliability.Estimator{Samples: 100, Seed: 1, Workers: 1}
+	b.Run("reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			est.EdgeRelevance(g)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			est.EdgeRelevanceNaive(g)
+		}
+	})
+}
+
+// BenchmarkMEvsUnguided is the Section V-F ablation: entropy gain per
+// unit of injected noise, guided versus unguided perturbation.
+func BenchmarkMEvsUnguided(b *testing.B) {
+	g := benchGraph(b)
+	base := privacy.TotalDegreeEntropy(g)
+	b.Run("guided", func(b *testing.B) {
+		var gain float64
+		for i := 0; i < b.N; i++ {
+			pert := core.PerturbAll(g, true, 0.2, 0.01, uint64(i))
+			gain = privacy.TotalDegreeEntropy(pert) - base
+		}
+		b.ReportMetric(gain, "entropy-gain-bits")
+	})
+	b.Run("unguided", func(b *testing.B) {
+		var gain float64
+		for i := 0; i < b.N; i++ {
+			pert := core.PerturbAll(g, false, 0.2, 0.01, uint64(i))
+			gain = privacy.TotalDegreeEntropy(pert) - base
+		}
+		b.ReportMetric(gain, "entropy-gain-bits")
+	})
+}
+
+// --- micro-benchmarks for the hot paths underlying the experiments ---
+
+func BenchmarkSampleWorld(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SampleWorld(rng)
+	}
+}
+
+func BenchmarkConnectedPairs(b *testing.B) {
+	g := benchGraph(b)
+	w := g.SampleWorld(rand.New(rand.NewPCG(1, 1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ConnectedPairs()
+	}
+}
+
+func BenchmarkObfuscationCheck(b *testing.B) {
+	g := benchGraph(b)
+	prop := privacy.DegreeProperty(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privacy.CheckObfuscation(g, prop, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeRelevance(b *testing.B) {
+	g := benchGraph(b)
+	est := reliability.Estimator{Samples: 150, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.EdgeRelevance(g)
+	}
+}
+
+func BenchmarkDiscrepancy(b *testing.B) {
+	g := benchGraph(b)
+	h := core.PerturbAll(g, true, 0.2, 0.01, 5)
+	est := reliability.Estimator{Samples: 150, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SampledPairDiscrepancy(g, h, reliability.PairSample{Pairs: 1000, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnonymizeRSME(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Anonymize(g, core.Params{K: 8, Epsilon: 0.02, Samples: 100, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricsDistance(b *testing.B) {
+	g := benchGraph(b)
+	o := metrics.Options{Samples: 5, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Distances(g)
+	}
+}
+
+func BenchmarkGenerateDatasets(b *testing.B) {
+	for _, d := range gen.Datasets() {
+		d := d
+		b.Run(d.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Build(rand.New(rand.NewPCG(uint64(i), 1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAttackValidation is the extension experiment A3: the Bayesian
+// degree-knowledge attack against original and anonymized releases.
+func BenchmarkAttackValidation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PaperKs = []int{100}
+	var posterior float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.AttackExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "RSME" && !r.Failed {
+				posterior = r.MeanPosterior
+				break
+			}
+		}
+	}
+	b.ReportMetric(posterior, "rsme-mean-posterior")
+}
+
+// BenchmarkKNNPreservation is the extension experiment A4: reliability
+// k-NN preservation per method.
+func BenchmarkKNNPreservation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PaperKs = []int{100}
+	var score float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.KNNExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "RSME" && !r.Failed {
+				score = r.Score
+				break
+			}
+		}
+	}
+	b.ReportMetric(score, "rsme-knn-preservation")
+}
+
+// BenchmarkCSweepAblation is the extension experiment A5: the effect of
+// the candidate-set multiplier c on noise level and utility.
+func BenchmarkCSweepAblation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PaperKs = []int{100, 150}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.CSweepAblation([]float64{1.5, 3.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHyperANF compares the two neighborhood-function estimators on
+// one sampled world.
+func BenchmarkHyperANF(b *testing.B) {
+	g := benchGraph(b)
+	w := g.SampleWorld(rand.New(rand.NewPCG(1, 1)))
+	b.Run("fm-anf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			anf.Neighborhood(w, anf.Options{Seed: uint64(i)})
+		}
+	})
+	b.Run("hyperanf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hyperanf.Neighborhood(w, hyperanf.Options{Seed: uint64(i)})
+		}
+	})
+}
+
+// BenchmarkDPComparison is the extension experiment comparing the
+// syntactic uncertainty-aware release against the dK-1 differential
+// privacy baseline of the related work.
+func BenchmarkDPComparison(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PaperKs = []int{100}
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.DPComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rsme, dp float64
+		for _, r := range rows {
+			if r.Dataset != "dblp-q" || r.Failed {
+				continue
+			}
+			switch r.Method {
+			case "RSME":
+				rsme = r.RelDiscrepancy
+			case "DP-1K(2.0)":
+				dp = r.RelDiscrepancy
+			}
+		}
+		if rsme > 0 {
+			gap = dp / rsme
+		}
+	}
+	b.ReportMetric(gap, "dp/rsme-error-ratio")
+}
+
+// BenchmarkCentralityPreservation is the extension experiment measuring
+// expected-betweenness preservation per method.
+func BenchmarkCentralityPreservation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PaperKs = []int{100}
+	var overlap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.CentralityExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "RSME" && !r.Failed {
+				overlap = r.Overlap
+				break
+			}
+		}
+	}
+	b.ReportMetric(overlap, "rsme-top20-overlap")
+}
+
+// BenchmarkExtractionAblation compares the representative extractors of
+// the [29] design space.
+func BenchmarkExtractionAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.ExtractionAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBetweenness measures Brandes' algorithm on one sampled world.
+func BenchmarkBetweenness(b *testing.B) {
+	g := benchGraph(b)
+	w := g.SampleWorld(rand.New(rand.NewPCG(1, 1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Betweenness(w)
+	}
+}

@@ -1,0 +1,142 @@
+package chameleon
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the command-line tools and drives the full
+// publish workflow end to end: generate -> anonymize -> evaluate ->
+// attack. Skipped in -short mode (it shells out to the Go toolchain).
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline test skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"genug", "chameleon", "ugstat", "attack", "ugquery"} {
+		bin := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bins[tool] = bin
+	}
+
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[tool], args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return string(out)
+	}
+
+	graphPath := filepath.Join(dir, "g.tsv")
+	anonPath := filepath.Join(dir, "anon.tsv")
+
+	run("genug", "-topology", "ba", "-nodes", "150", "-degree", "2",
+		"-probs", "discrete", "-seed", "3", "-o", graphPath)
+	if _, err := os.Stat(graphPath); err != nil {
+		t.Fatalf("genug did not write the graph: %v", err)
+	}
+
+	out := run("chameleon", "-in", graphPath, "-out", anonPath,
+		"-k", "5", "-eps", "0.05", "-samples", "100", "-seed", "7")
+	if !strings.Contains(out, "eps~=") {
+		t.Fatalf("chameleon summary missing: %s", out)
+	}
+
+	// The published file must load back as a valid graph with the same
+	// vertex set.
+	orig, err := LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := LoadGraph(anonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.NumNodes() != orig.NumNodes() {
+		t.Fatalf("published graph has %d nodes, want %d", anon.NumNodes(), orig.NumNodes())
+	}
+
+	statsOut := run("ugstat", "-g", graphPath, "-pub", anonPath, "-k", "5",
+		"-samples", "100", "-metric-samples", "3")
+	for _, want := range []string{"privacy", "reliability discrepancy", "clustering err"} {
+		if !strings.Contains(statsOut, want) {
+			t.Fatalf("ugstat output missing %q:\n%s", want, statsOut)
+		}
+	}
+
+	attackOut := run("attack", "-orig", graphPath, "-pub", anonPath, "-k", "5")
+	if !strings.Contains(attackOut, "mean posterior") {
+		t.Fatalf("attack output missing summary:\n%s", attackOut)
+	}
+	targetOut := run("attack", "-orig", graphPath, "-pub", anonPath, "-k", "5", "-target", "0")
+	if !strings.Contains(targetOut, "posterior entropy") {
+		t.Fatalf("attack -target output missing entropy:\n%s", targetOut)
+	}
+
+	queryOut := run("ugquery", "-g", graphPath, "-pair", "0,5", "-knn", "0", "-k", "3",
+		"-components", "-samples", "200")
+	for _, want := range []string{"R(0,5)", "3-NN of vertex 0", "support components"} {
+		if !strings.Contains(queryOut, want) {
+			t.Fatalf("ugquery output missing %q:\n%s", want, queryOut)
+		}
+	}
+	relOut := run("ugquery", "-g", graphPath, "-relevance", "-top", "5", "-samples", "200")
+	if !strings.Contains(relOut, "ERR=") {
+		t.Fatalf("ugquery relevance output:\n%s", relOut)
+	}
+	if err := exec.Command(bins["ugquery"], "-g", graphPath).Run(); err == nil {
+		t.Fatal("ugquery without a query should fail")
+	}
+
+	// The experiments binary reproduces a single artifact in quick mode.
+	expBin := filepath.Join(dir, "experiments")
+	if out, err := exec.Command("go", "build", "-o", expBin, "./cmd/experiments").CombinedOutput(); err != nil {
+		t.Fatalf("building experiments: %v\n%s", err, out)
+	}
+	expOut, err := exec.Command(expBin, "-quick", "-run", "tableII,fig3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -quick: %v\n%s", err, expOut)
+	}
+	for _, want := range []string{"Table II", "Figure 3a", "dblp-q"} {
+		if !strings.Contains(string(expOut), want) {
+			t.Fatalf("experiments output missing %q:\n%s", want, expOut)
+		}
+	}
+
+	// Binary output format round-trips through the tools.
+	binGraph := filepath.Join(dir, "g.bin")
+	run("genug", "-topology", "er", "-nodes", "60", "-edges", "120",
+		"-seed", "4", "-binary", "-o", binGraph)
+	statsBin := run("ugstat", "-g", binGraph, "-metric-samples", "3")
+	if !strings.Contains(statsBin, "nodes") {
+		t.Fatalf("ugstat on binary graph:\n%s", statsBin)
+	}
+
+	// Failure paths: missing flags exit nonzero.
+	if err := exec.Command(bins["chameleon"]).Run(); err == nil {
+		t.Fatal("chameleon without -in should fail")
+	}
+	if err := exec.Command(bins["ugstat"]).Run(); err == nil {
+		t.Fatal("ugstat without -g should fail")
+	}
+	if err := exec.Command(bins["attack"]).Run(); err == nil {
+		t.Fatal("attack without -orig should fail")
+	}
+	// Unknown dataset is rejected.
+	if err := exec.Command(bins["genug"], "-dataset", "bogus").Run(); err == nil {
+		t.Fatal("genug with unknown dataset should fail")
+	}
+}

@@ -1,0 +1,101 @@
+// Command attack simulates the degree-knowledge re-identification attack
+// against a published uncertain graph: a Bayesian adversary who knows
+// each target's degree in the original graph ranks the published vertices
+// by posterior probability. Use it to validate a release empirically
+// before sharing it.
+//
+// Usage:
+//
+//	attack -orig g.tsv -pub anon.tsv -k 20
+//	attack -orig g.tsv -pub anon.tsv -k 20 -target 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"chameleon"
+	"chameleon/internal/attack"
+	"chameleon/internal/privacy"
+)
+
+func main() {
+	var (
+		origPath = flag.String("orig", "", "original uncertain graph (TSV)")
+		pubPath  = flag.String("pub", "", "published graph to attack (default: the original itself)")
+		k        = flag.Int("k", 20, "adversary shortlist size / obfuscation level")
+		target   = flag.Int("target", -1, "single target vertex to attack in detail (default: aggregate over all)")
+	)
+	flag.Parse()
+	if *origPath == "" {
+		fmt.Fprintln(os.Stderr, "attack: -orig is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	orig, err := chameleon.LoadGraph(*origPath)
+	fail(err)
+	pub := orig
+	if *pubPath != "" {
+		pub, err = chameleon.LoadGraph(*pubPath)
+		fail(err)
+	}
+
+	if *target >= 0 {
+		attackOne(orig, pub, *target, *k)
+		return
+	}
+
+	rep, err := attack.Simulate(orig, pub, *k)
+	fail(err)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "targets\t%d\n", rep.Targets)
+	fmt.Fprintf(tw, "mean posterior on true vertex\t%.4f\t(random: %.4f, k-obf target: <= %.4f)\n",
+		rep.MeanPosterior, 1/float64(rep.Targets), 1/float64(*k))
+	fmt.Fprintf(tw, "top-1 identification rate\t%.4f\n", rep.Top1Rate)
+	fmt.Fprintf(tw, "top-%d shortlist hit rate\t%.4f\n", *k, rep.TopKRate)
+	fmt.Fprintf(tw, "mean rank of true vertex\t%.1f\n", rep.MeanRank)
+	tw.Flush()
+}
+
+func attackOne(orig, pub *chameleon.Graph, target, k int) {
+	if target >= orig.NumNodes() {
+		fail(fmt.Errorf("target %d out of range (n=%d)", target, orig.NumNodes()))
+	}
+	w := privacy.DegreeProperty(orig)[target]
+	fmt.Printf("target %d: known degree %d (expected degree %.2f in the original)\n",
+		target, w, orig.ExpectedDegree(chameleon.NodeID(target)))
+	cands := attack.Shortlist(pub, w, k)
+	if len(cands) == 0 {
+		fmt.Println("the adversary's posterior is empty: no published vertex can have this degree")
+		return
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tvertex\tposterior\tnote")
+	for i, c := range cands {
+		note := ""
+		if int(c.Node) == target {
+			note = "<- true vertex"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%s\n", i+1, c.Node, c.Posterior, note)
+	}
+	tw.Flush()
+	// Entropy of the full posterior, the quantity (k, eps)-obf bounds.
+	full := attack.Shortlist(pub, w, pub.NumNodes())
+	var h float64
+	for _, c := range full {
+		if c.Posterior > 0 {
+			h -= c.Posterior * math.Log2(c.Posterior)
+		}
+	}
+	fmt.Printf("posterior entropy %.2f bits (k-obfuscated for k <= %.0f)\n", h, math.Exp2(h))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		os.Exit(1)
+	}
+}

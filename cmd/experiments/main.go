@@ -1,0 +1,178 @@
+// Command experiments reproduces the paper's evaluation: Table I, Table
+// II, Figure 3 (dataset distributions), Figure 4 (Rep-An distortion vs the
+// Chameleon lower bound) and Figures 8-11 (reliability, average degree,
+// average distance and clustering preservation across methods and k), plus
+// the two ablation studies (ERR estimator cost; ME-vs-unguided entropy
+// gain).
+//
+// Usage:
+//
+//	experiments                  # full sweep (several minutes)
+//	experiments -quick           # miniature datasets, seconds
+//	experiments -run fig8        # one artifact: tableI tableII fig3 fig4
+//	                             # fig8 fig9 fig10 fig11 ablations sweep
+//	experiments -csv runs.csv    # also dump the raw grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chameleon/internal/exp"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "miniature datasets and reduced sampling budgets")
+		run     = flag.String("run", "all", "comma-separated artifacts: tableI,tableII,fig3,fig4,fig8,fig9,fig10,fig11,attack,knn,dp,centrality,timing,ablations,all")
+		samples = flag.Int("samples", 0, "override reliability sample budget")
+		seed    = flag.Uint64("seed", 7, "random seed")
+		csvPath = flag.String("csv", "", "write the raw sweep grid as CSV")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Quick: *quick, Samples: *samples, Seed: *seed}
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+	out := os.Stdout
+
+	start := time.Now()
+	if all || want["tableII"] {
+		exp.WriteTableII(out)
+		fmt.Fprintln(out)
+	}
+	if all || want["fig3"] {
+		probs, degs, err := cfg.Fig3()
+		fail(err)
+		exp.WriteHistogram(out, "Figure 3a: edge probability distributions", probs)
+		exp.WriteHistogram(out, "Figure 3b: degree distributions (log-spaced buckets)", degs)
+		fmt.Fprintln(out)
+	}
+	if all || want["fig4"] {
+		rows, err := cfg.Fig4()
+		fail(err)
+		exp.WriteFig4(out, rows)
+		fmt.Fprintln(out)
+	}
+
+	needSweep := all || want["tableI"] || want["fig8"] || want["fig9"] || want["fig10"] || want["fig11"] || want["sweep"]
+	if needSweep {
+		runs, bases, err := cfg.SweepAll(exp.Methods)
+		fail(err)
+		if all || want["tableI"] {
+			cfg.WriteTableI(out, bases)
+			fmt.Fprintln(out)
+		}
+		for _, fig := range []string{"fig8", "fig9", "fig10", "fig11"} {
+			if all || want[fig] {
+				fail(exp.WriteFigure(out, fig, runs))
+				fmt.Fprintln(out)
+			}
+		}
+		if all || want["timing"] {
+			exp.WriteTiming(out, runs)
+			fmt.Fprintln(out)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			fail(err)
+			exp.WriteRunsCSV(f, runs)
+			fail(f.Close())
+			fmt.Fprintf(out, "wrote raw grid to %s\n\n", *csvPath)
+		}
+	}
+
+	if all || want["attack"] {
+		rows, err := cfg.AttackExperiment()
+		fail(err)
+		exp.WriteAttack(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["centrality"] {
+		rows, err := cfg.CentralityExperiment()
+		fail(err)
+		exp.WriteCentrality(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["dp"] {
+		rows, err := cfg.DPComparison()
+		fail(err)
+		exp.WriteDP(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["knn"] {
+		rows, err := cfg.KNNExperiment()
+		fail(err)
+		exp.WriteKNN(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["ablations"] {
+		runAblations(cfg, out)
+	}
+	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runAblations(cfg exp.Config, out *os.File) {
+	// ERR estimator cost on purpose-built small graphs: the naive
+	// estimator of Lemma 2 is quadratic in |E| and exists only to show why
+	// the Algorithm 2 reuse estimator matters.
+	sizes := []int{100, 200, 400}
+	samples := 100
+	if cfg.Quick {
+		sizes = []int{50, 100}
+		samples = 30
+	}
+	var rows []exp.ERRCostRow
+	for _, m := range sizes {
+		g, err := exp.ERRCostGraph(m, cfg.Seed)
+		fail(err)
+		rows = append(rows, exp.ERRCost(g, samples, cfg.Seed))
+	}
+	exp.WriteERRCost(out, rows)
+	fmt.Fprintln(out)
+
+	d := cfg.Datasets()[0]
+	g, err := cfg.BuildDataset(d)
+	fail(err)
+	gain := exp.EntropyGain(g, []float64{0.01, 0.05, 0.1, 0.2, 0.4}, cfg.Seed)
+	exp.WriteEntropyGain(out, gain)
+	fmt.Fprintln(out)
+
+	eRows, err := cfg.ExtractionAblation()
+	fail(err)
+	exp.WriteExtraction(out, eRows)
+	fmt.Fprintln(out)
+
+	cRows, err := cfg.CSweepAblation(nil)
+	fail(err)
+	exp.WriteCSweep(out, cRows)
+	fmt.Fprintln(out)
+
+	budgets := []int{10, 100, 1000}
+	reps := 10
+	if cfg.Quick {
+		budgets = []int{10, 100, 500}
+		reps = 6
+	}
+	conv := exp.ConvergenceStudy(g, budgets, reps, cfg.Seed)
+	exp.WriteConvergence(out, conv)
+	fmt.Fprintln(out)
+
+	epsRows, err := cfg.EpsilonSweep(nil)
+	fail(err)
+	exp.WriteEpsilonSweep(out, epsRows)
+	fmt.Fprintln(out)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Command genug generates synthetic uncertain graphs: either one of the
+// paper's scaled evaluation datasets by name, or a custom random topology.
+//
+// Usage:
+//
+//	genug -dataset dblp-s -seed 7 -o dblp.tsv
+//	genug -topology ba -nodes 1000 -degree 3 -probs uniform -o g.tsv
+//	genug -topology er -nodes 500 -edges 2000 -probs small -o g.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+
+	"chameleon/internal/gen"
+	"chameleon/internal/uncertain"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "named dataset: dblp-s | brightkite-s | ppi-s (overrides topology flags)")
+		topology = flag.String("topology", "ba", "random topology: ba | er | sbm")
+		nodes    = flag.Int("nodes", 1000, "number of vertices")
+		edges    = flag.Int("edges", 4000, "number of edges (er topology)")
+		degree   = flag.Int("degree", 3, "edges per new vertex (ba topology)")
+		blocks   = flag.Int("blocks", 4, "number of blocks (sbm topology)")
+		pin      = flag.Float64("pin", 0.05, "intra-block edge rate (sbm)")
+		pout     = flag.Float64("pout", 0.002, "inter-block edge rate (sbm)")
+		probs    = flag.String("probs", "uniform", "probability profile: uniform | small | discrete")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		binaryF  = flag.Bool("binary", false, "write the compact binary format instead of TSV")
+	)
+	flag.Parse()
+
+	g, err := build(*dataset, *topology, *nodes, *edges, *degree, *blocks, *pin, *pout, *probs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genug:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		if err := uncertain.WriteTSV(os.Stdout, g); err != nil {
+			fmt.Fprintln(os.Stderr, "genug:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	save := uncertain.SaveFile
+	if *binaryF {
+		save = uncertain.SaveBinaryFile
+	}
+	if err := save(*out, g); err != nil {
+		fmt.Fprintln(os.Stderr, "genug:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d nodes, %d edges, mean p %.3f\n",
+		*out, g.NumNodes(), g.NumEdges(), g.MeanProb())
+}
+
+func build(dataset, topology string, nodes, edges, degree, blocks int, pin, pout float64, probs string, seed uint64) (*uncertain.Graph, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xda7a5e7))
+	if dataset != "" {
+		d, err := gen.DatasetByName(dataset)
+		if err != nil {
+			return nil, fmt.Errorf("%w (known: %s)", err, strings.Join(datasetNames(), ", "))
+		}
+		return d.Build(rng)
+	}
+	var pa gen.ProbAssigner
+	switch probs {
+	case "uniform":
+		pa = gen.UniformProbs(0.05, 0.95)
+	case "small":
+		pa = gen.SmallProbs(0.29)
+	case "discrete":
+		pa = gen.DiscreteProbs(
+			[]float64{0.13, 0.28, 0.46, 0.64, 0.80},
+			[]float64{0.15, 0.23, 0.27, 0.22, 0.13},
+		)
+	default:
+		return nil, fmt.Errorf("unknown probability profile %q", probs)
+	}
+	switch topology {
+	case "ba":
+		return gen.BarabasiAlbert(nodes, degree, pa, rng)
+	case "er":
+		return gen.ErdosRenyi(nodes, edges, pa, rng)
+	case "sbm":
+		return gen.SBM(nodes, blocks, pin, pout, pa, rng)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+}
+
+func datasetNames() []string {
+	var names []string
+	for _, d := range gen.Datasets() {
+		names = append(names, d.Name)
+	}
+	return names
+}

@@ -1,0 +1,127 @@
+// Command ugquery answers reliability queries over an uncertain graph —
+// the workloads an anonymized release is published for.
+//
+// Usage:
+//
+//	ugquery -g graph.tsv -pair 3,17            # two-terminal reliability
+//	ugquery -g graph.tsv -knn 3 -k 10          # reliability k-NN of vertex 3
+//	ugquery -g graph.tsv -relevance -top 10    # most reliability-relevant edges
+//	ugquery -g graph.tsv -components           # support components
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"chameleon"
+)
+
+func main() {
+	var (
+		gPath      = flag.String("g", "", "uncertain graph (TSV or binary)")
+		pair       = flag.String("pair", "", "two-terminal reliability of 'u,v'")
+		knn        = flag.Int("knn", -1, "reliability k-NN of this vertex")
+		k          = flag.Int("k", 10, "neighborhood size for -knn")
+		relevance  = flag.Bool("relevance", false, "rank edges by reliability relevance")
+		top        = flag.Int("top", 10, "rows to print for -relevance")
+		components = flag.Bool("components", false, "list support components")
+		samples    = flag.Int("samples", 1000, "Monte Carlo samples")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *gPath == "" {
+		fmt.Fprintln(os.Stderr, "ugquery: -g is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := chameleon.LoadGraph(*gPath)
+	fail(err)
+
+	ran := false
+	if *pair != "" {
+		ran = true
+		u, v, err := parsePair(*pair, g.NumNodes())
+		fail(err)
+		r := chameleon.PairReliability(g, u, v, *samples, *seed)
+		fmt.Printf("R(%d,%d) = %.4f\n", u, v, r)
+	}
+	if *knn >= 0 {
+		ran = true
+		nbrs, err := chameleon.ReliabilityKNN(g, chameleon.NodeID(*knn), *k, *samples, *seed)
+		fail(err)
+		rel := chameleon.ReliabilityFrom(g, chameleon.NodeID(*knn), *samples, *seed)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "reliability %d-NN of vertex %d:\n", *k, *knn)
+		for i, v := range nbrs {
+			fmt.Fprintf(tw, "  %d\t%d\t%.4f\n", i+1, v, rel[v])
+		}
+		tw.Flush()
+	}
+	if *relevance {
+		ran = true
+		rel := chameleon.EdgeRelevance(g, *samples, *seed)
+		idx := make([]int, len(rel))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return rel[idx[a]] > rel[idx[b]] })
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "most reliability-relevant edges:")
+		limit := *top
+		if limit > len(idx) {
+			limit = len(idx)
+		}
+		for i := 0; i < limit; i++ {
+			e := g.Edge(idx[i])
+			fmt.Fprintf(tw, "  (%d,%d)\tp=%.3f\tERR=%.2f\n", e.U, e.V, e.P, rel[idx[i]])
+		}
+		tw.Flush()
+	}
+	if *components {
+		ran = true
+		comps := g.SupportComponents()
+		fmt.Printf("%d support components; sizes of the largest 10:", len(comps))
+		for i, comp := range comps {
+			if i == 10 {
+				break
+			}
+			fmt.Printf(" %d", len(comp))
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "ugquery: nothing to do (pass -pair, -knn, -relevance or -components)")
+		os.Exit(2)
+	}
+}
+
+func parsePair(s string, n int) (chameleon.NodeID, chameleon.NodeID, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want 'u,v', got %q", s)
+	}
+	u, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return 0, 0, fmt.Errorf("pair (%d,%d) out of range (n=%d)", u, v, n)
+	}
+	return chameleon.NodeID(u), chameleon.NodeID(v), nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ugquery:", err)
+		os.Exit(1)
+	}
+}

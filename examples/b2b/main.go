@@ -1,0 +1,132 @@
+// B2B transaction-likelihood graph sharing (the paper's Motivation
+// Scenario II).
+//
+// A marketplace predicts the likelihood of future transactions between
+// companies. The prediction graph is commercially sensitive — a company's
+// transaction degree reveals its financial activity — yet analysts need it
+// for customer segmentation, which depends on the community structure.
+// This example builds a community-structured B2B graph, shows how
+// reliability relevance singles out the inter-community bridge edges that
+// Chameleon's RS selection protects, and verifies that community
+// separation survives publication.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sort"
+
+	"chameleon"
+	"chameleon/internal/gen"
+)
+
+const (
+	companies = 400
+	clusters  = 4
+	k         = 8
+	eps       = 0.02
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(11, 0xb2b))
+	g, err := gen.SBM(companies, clusters, 0.05, 0.0003, gen.UniformProbs(0.25, 0.75), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B2B graph: %d companies in %d market segments, %d predicted transactions\n",
+		companies, clusters, g.NumEdges())
+
+	// Rank edges by reliability relevance: the scarce inter-segment
+	// bridges should concentrate at the top (the Figure 5a intuition) —
+	// those are the edges Chameleon's RS selection steers noise away from.
+	relevance := chameleon.EdgeRelevance(g, 400, 3)
+	found, total := bridgeRecall(g, relevance)
+	fmt.Printf("reliability relevance: %d of the %d inter-segment bridges rank in the top relevance decile\n",
+		found, total)
+
+	// The white-noise floor is lowered for this small, sharply clustered
+	// graph: the default 1% floor would inject a handful of strong random
+	// cross-segment edges, which is exactly the structure the analysts
+	// need preserved.
+	res, err := chameleon.Anonymize(g, chameleon.Options{
+		K: k, Epsilon: eps, Method: chameleon.MethodRSME, Samples: 400, Seed: 12,
+		WhiteNoise: 0.001,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published with k=%d: sigma=%.3f eps~=%.4f\n", k, res.Sigma, res.EpsilonTilde)
+
+	// Segmentation utility: intra-segment pair reliability should stay far
+	// above inter-segment reliability in the published graph.
+	inOrig, outOrig := separation(g)
+	inPub, outPub := separation(res.Graph)
+	fmt.Printf("segment separation (intra vs inter pair reliability):\n")
+	fmt.Printf("  original:  %.3f vs %.3f\n", inOrig, outOrig)
+	fmt.Printf("  published: %.3f vs %.3f\n", inPub, outPub)
+	if inPub > outPub {
+		fmt.Println("customer segments remain separable after anonymization.")
+	}
+}
+
+func segment(v chameleon.NodeID) int { return int(v) * clusters / companies }
+
+// bridgeRecall reports how many of the inter-segment bridge edges land in
+// the top relevance decile.
+func bridgeRecall(g *chameleon.Graph, relevance []float64) (found, total int) {
+	type ranked struct {
+		idx int
+		r   float64
+	}
+	all := make([]ranked, g.NumEdges())
+	for i := range all {
+		all[i] = ranked{i, relevance[i]}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].r > all[j].r })
+	dec := len(all) / 10
+	if dec == 0 {
+		dec = 1
+	}
+	for rank, e := range all {
+		edge := g.Edge(e.idx)
+		if segment(edge.U) != segment(edge.V) {
+			total++
+			if rank < dec {
+				found++
+			}
+		}
+	}
+	return found, total
+}
+
+// separation estimates mean intra- and inter-segment pair reliability over
+// a fixed probe set.
+func separation(g *chameleon.Graph) (intra, inter float64) {
+	var nIntra, nInter int
+	rng := rand.New(rand.NewPCG(4, 4))
+	for probe := 0; probe < 40; probe++ {
+		u := chameleon.NodeID(rng.IntN(g.NumNodes()))
+		rel := chameleon.ReliabilityFrom(g, u, 200, uint64(probe))
+		for t := 0; t < 10; t++ {
+			v := chameleon.NodeID(rng.IntN(g.NumNodes()))
+			if v == u {
+				continue
+			}
+			if segment(u) == segment(v) {
+				intra += rel[v]
+				nIntra++
+			} else {
+				inter += rel[v]
+				nInter++
+			}
+		}
+	}
+	if nIntra > 0 {
+		intra /= float64(nIntra)
+	}
+	if nInter > 0 {
+		inter /= float64(nInter)
+	}
+	return intra, inter
+}

@@ -1,0 +1,42 @@
+package chameleon
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end and checks
+// for its headline output. Skipped in -short mode (each example runs a
+// full anonymization).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "published:"},
+		{"./examples/socialtrust", "overlap with truth"},
+		{"./examples/ppi", "neighborhood overlap"},
+		{"./examples/b2b", "segment separation"},
+		{"./examples/roadnet", "travel-cost distortion"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("%s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module chameleon
+
+go 1.22

@@ -1,0 +1,181 @@
+// Package anf implements the Approximate Neighborhood Function of Palmer
+// et al., the estimator family behind HyperANF [8], which the paper uses
+// to approximate shortest-path statistics. Each vertex carries K parallel
+// Flajolet–Martin bitmasks; one OR-propagation round per hop grows the
+// masks to cover the h-hop neighborhood, and the least-zero-bit positions
+// estimate the neighborhood sizes.
+package anf
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"chameleon/internal/uncertain"
+)
+
+// fmCorrection is the Flajolet–Martin bias correction constant.
+const fmCorrection = 0.77351
+
+// Options configures the estimator.
+type Options struct {
+	// Trials is the number of parallel bitmasks K; more trials reduce
+	// variance. Default 32.
+	Trials int
+	// MaxHops caps the propagation rounds. Default 256.
+	MaxHops int
+	// Seed drives the random bit assignment.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials <= 0 {
+		o.Trials = 32
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 256
+	}
+	return o
+}
+
+// Result holds the estimated neighborhood function of one world.
+type Result struct {
+	// N[h] estimates the number of ordered vertex pairs (v,u) with
+	// dist(v,u) <= h, including v itself (so N[0] ~= |V|).
+	N []float64
+}
+
+// Neighborhood computes the approximate neighborhood function of the given
+// world.
+func Neighborhood(w *uncertain.World, o Options) Result {
+	o = o.withDefaults()
+	n := w.NumNodes()
+	k := o.Trials
+	rng := rand.New(rand.NewPCG(o.Seed, 0x5bf03635))
+
+	// masks[v*k + t] is trial t's bitmask for vertex v.
+	masks := make([]uint64, n*k)
+	for i := range masks {
+		masks[i] = 1 << geometricBit(rng)
+	}
+
+	adj := w.AdjacencyLists()
+	next := make([]uint64, n*k)
+
+	result := Result{N: []float64{estimate(masks, n, k)}}
+	for h := 1; h <= o.MaxHops; h++ {
+		copy(next, masks)
+		changed := false
+		for v := 0; v < n; v++ {
+			base := v * k
+			for _, u := range adj[v] {
+				ub := int(u) * k
+				for t := 0; t < k; t++ {
+					m := next[base+t] | masks[ub+t]
+					if m != next[base+t] {
+						next[base+t] = m
+						changed = true
+					}
+				}
+			}
+		}
+		masks, next = next, masks
+		result.N = append(result.N, estimate(masks, n, k))
+		if !changed {
+			break
+		}
+	}
+	return result
+}
+
+// geometricBit returns bit index i with probability 2^-(i+1), capped at 62.
+func geometricBit(rng *rand.Rand) int {
+	b := 0
+	for rng.Float64() < 0.5 && b < 62 {
+		b++
+	}
+	return b
+}
+
+// estimate sums the per-vertex FM estimates 2^b / 0.77351, with b the mean
+// least-zero-bit position over the K trials.
+func estimate(masks []uint64, n, k int) float64 {
+	var total float64
+	for v := 0; v < n; v++ {
+		var sumB int
+		for t := 0; t < k; t++ {
+			sumB += bits.TrailingZeros64(^masks[v*k+t])
+		}
+		total += math.Exp2(float64(sumB)/float64(k)) / fmCorrection
+	}
+	return total
+}
+
+// AverageDistance derives the mean shortest-path length over connected
+// ordered pairs from the neighborhood function.
+func (r Result) AverageDistance() float64 {
+	if len(r.N) < 2 {
+		return 0
+	}
+	last := r.N[len(r.N)-1]
+	reachable := last - r.N[0] // exclude distance-0 self pairs
+	if reachable <= 0 {
+		return 0
+	}
+	var weighted float64
+	for h := 1; h < len(r.N); h++ {
+		weighted += float64(h) * (r.N[h] - r.N[h-1])
+	}
+	return weighted / reachable
+}
+
+// EffectiveDiameter returns the smallest hop count h at which the
+// neighborhood function reaches the given fraction (e.g. 0.9) of its final
+// value, with linear interpolation between hops.
+func (r Result) EffectiveDiameter(fraction float64) float64 {
+	if len(r.N) == 0 {
+		return 0
+	}
+	target := fraction * r.N[len(r.N)-1]
+	for h := 0; h < len(r.N); h++ {
+		if r.N[h] >= target {
+			if h == 0 {
+				return 0
+			}
+			prev := r.N[h-1]
+			span := r.N[h] - prev
+			if span <= 0 {
+				return float64(h)
+			}
+			return float64(h-1) + (target-prev)/span
+		}
+	}
+	return float64(len(r.N) - 1)
+}
+
+// ExactNeighborhood computes the exact neighborhood function of a world by
+// running a BFS from every vertex. O(|V| * (|V| + |E|)); test-scale only.
+func ExactNeighborhood(w *uncertain.World) Result {
+	n := w.NumNodes()
+	var counts []float64
+	for v := 0; v < n; v++ {
+		dist := w.BFSDistances(uncertain.NodeID(v))
+		for _, d := range dist {
+			if d < 0 {
+				continue
+			}
+			for len(counts) <= int(d) {
+				counts = append(counts, 0)
+			}
+			counts[d]++
+		}
+	}
+	// Prefix-sum to N[h].
+	for h := 1; h < len(counts); h++ {
+		counts[h] += counts[h-1]
+	}
+	if counts == nil {
+		counts = []float64{float64(n)}
+	}
+	return Result{N: counts}
+}

@@ -1,0 +1,189 @@
+package anf
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/uncertain"
+)
+
+func certainWorld(t *testing.T, n int, edges [][2]uncertain.NodeID) *uncertain.World {
+	t.Helper()
+	g := uncertain.New(n)
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1], 1)
+	}
+	return g.MostProbableWorld()
+}
+
+func pathWorld(t *testing.T, n int) *uncertain.World {
+	t.Helper()
+	edges := make([][2]uncertain.NodeID, n-1)
+	for i := range edges {
+		edges[i] = [2]uncertain.NodeID{uncertain.NodeID(i), uncertain.NodeID(i + 1)}
+	}
+	return certainWorld(t, n, edges)
+}
+
+func TestExactNeighborhoodPath(t *testing.T) {
+	// Path 0-1-2: N[0]=3 (self pairs), N[1]=3+4, N[2]=3+4+2.
+	w := pathWorld(t, 3)
+	r := ExactNeighborhood(w)
+	want := []float64{3, 7, 9}
+	if len(r.N) != len(want) {
+		t.Fatalf("N = %v, want %v", r.N, want)
+	}
+	for i := range want {
+		if r.N[i] != want[i] {
+			t.Fatalf("N[%d] = %v, want %v", i, r.N[i], want[i])
+		}
+	}
+}
+
+func TestExactAverageDistancePath(t *testing.T) {
+	// Path 0-1-2: ordered pairs distances {1,1,1,1,2,2}: mean 8/6.
+	r := ExactNeighborhood(pathWorld(t, 3))
+	want := 8.0 / 6.0
+	if math.Abs(r.AverageDistance()-want) > 1e-12 {
+		t.Fatalf("AverageDistance = %v, want %v", r.AverageDistance(), want)
+	}
+}
+
+func TestExactAverageDistanceClique(t *testing.T) {
+	w := certainWorld(t, 4, [][2]uncertain.NodeID{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	r := ExactNeighborhood(w)
+	if got := r.AverageDistance(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("clique average distance = %v, want 1", got)
+	}
+}
+
+func TestExactDisconnected(t *testing.T) {
+	w := certainWorld(t, 4, [][2]uncertain.NodeID{{0, 1}}) // 2,3 isolated
+	r := ExactNeighborhood(w)
+	// Reachable ordered pairs: (0,1),(1,0) at distance 1.
+	if got := r.AverageDistance(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("AverageDistance = %v, want 1", got)
+	}
+}
+
+func TestExactEmptyWorld(t *testing.T) {
+	w := certainWorld(t, 3, nil)
+	r := ExactNeighborhood(w)
+	if r.AverageDistance() != 0 {
+		t.Fatalf("no reachable pairs: AverageDistance = %v, want 0", r.AverageDistance())
+	}
+	if r.EffectiveDiameter(0.9) != 0 {
+		t.Fatalf("EffectiveDiameter = %v, want 0", r.EffectiveDiameter(0.9))
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	// Clique: everything reachable at 1 hop. Eff. diameter in (0, 1].
+	w := certainWorld(t, 5, [][2]uncertain.NodeID{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}})
+	r := ExactNeighborhood(w)
+	ed := r.EffectiveDiameter(0.9)
+	if ed <= 0 || ed > 1 {
+		t.Fatalf("clique effective diameter = %v, want (0,1]", ed)
+	}
+	// Long path: effective diameter grows with length.
+	long := ExactNeighborhood(pathWorld(t, 30)).EffectiveDiameter(0.9)
+	short := ExactNeighborhood(pathWorld(t, 10)).EffectiveDiameter(0.9)
+	if long <= short {
+		t.Fatalf("longer path should have larger effective diameter: %v vs %v", long, short)
+	}
+}
+
+func TestNeighborhoodMatchesExactOnPath(t *testing.T) {
+	w := pathWorld(t, 40)
+	approx := Neighborhood(w, Options{Trials: 64, Seed: 3})
+	ex := ExactNeighborhood(w)
+	// Compare final reachable-pair counts within FM error (~10% at K=64).
+	gotFinal := approx.N[len(approx.N)-1]
+	wantFinal := ex.N[len(ex.N)-1]
+	if math.Abs(gotFinal-wantFinal)/wantFinal > 0.25 {
+		t.Fatalf("final neighborhood %v, exact %v", gotFinal, wantFinal)
+	}
+	if math.Abs(approx.AverageDistance()-ex.AverageDistance())/ex.AverageDistance() > 0.25 {
+		t.Fatalf("ANF avg distance %v, exact %v", approx.AverageDistance(), ex.AverageDistance())
+	}
+}
+
+func TestNeighborhoodMatchesExactOnGrid(t *testing.T) {
+	// 8x8 grid.
+	const side = 8
+	g := uncertain.New(side * side)
+	id := func(r, c int) uncertain.NodeID { return uncertain.NodeID(r*side + c) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.MustAddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < side {
+				g.MustAddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	w := g.MostProbableWorld()
+	approx := Neighborhood(w, Options{Trials: 64, Seed: 5})
+	ex := ExactNeighborhood(w)
+	if math.Abs(approx.AverageDistance()-ex.AverageDistance())/ex.AverageDistance() > 0.2 {
+		t.Fatalf("grid avg distance: ANF %v, exact %v", approx.AverageDistance(), ex.AverageDistance())
+	}
+	ed := approx.EffectiveDiameter(0.9)
+	edx := ex.EffectiveDiameter(0.9)
+	if math.Abs(ed-edx) > 3 {
+		t.Fatalf("grid effective diameter: ANF %v, exact %v", ed, edx)
+	}
+}
+
+func TestNeighborhoodMonotone(t *testing.T) {
+	w := pathWorld(t, 25)
+	r := Neighborhood(w, Options{Seed: 7})
+	for h := 1; h < len(r.N); h++ {
+		if r.N[h] < r.N[h-1]-1e-9 {
+			t.Fatalf("neighborhood function must be nondecreasing: N[%d]=%v < N[%d]=%v",
+				h, r.N[h], h-1, r.N[h-1])
+		}
+	}
+}
+
+func TestNeighborhoodTerminates(t *testing.T) {
+	// Propagation stops once masks converge; the result must be shorter
+	// than MaxHops on a small diameter graph.
+	w := certainWorld(t, 6, [][2]uncertain.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	r := Neighborhood(w, Options{Seed: 1, MaxHops: 100})
+	if len(r.N) > 10 {
+		t.Fatalf("propagation should converge in ~diameter rounds, got %d", len(r.N))
+	}
+}
+
+func TestNeighborhoodDeterministicPerSeed(t *testing.T) {
+	w := pathWorld(t, 20)
+	a := Neighborhood(w, Options{Seed: 9})
+	b := Neighborhood(w, Options{Seed: 9})
+	if len(a.N) != len(b.N) {
+		t.Fatal("same seed must give same hop count")
+	}
+	for i := range a.N {
+		if a.N[i] != b.N[i] {
+			t.Fatal("same seed must give identical estimates")
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials != 32 || o.MaxHops != 256 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestEffectiveDiameterEmptyResult(t *testing.T) {
+	if (Result{}).EffectiveDiameter(0.9) != 0 {
+		t.Fatal("empty result should give 0")
+	}
+	if (Result{}).AverageDistance() != 0 {
+		t.Fatal("empty result should give 0 average distance")
+	}
+}

@@ -1,0 +1,191 @@
+package attack
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"chameleon/internal/core"
+	"chameleon/internal/gen"
+	"chameleon/internal/uncertain"
+)
+
+func starGraph(n int) *uncertain.Graph {
+	g := uncertain.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, uncertain.NodeID(i), 1)
+	}
+	return g
+}
+
+func TestSimulateDeterministicStar(t *testing.T) {
+	// Publishing a certain star unchanged: the hub's degree is unique, so
+	// the adversary identifies it with certainty; leaves hide among n-1
+	// peers.
+	g := starGraph(10)
+	rep, err := Simulate(g, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Targets != 10 {
+		t.Fatalf("targets = %d", rep.Targets)
+	}
+	// Hub: posterior 1, rank 1, top-1 hit. Leaves: posterior 1/9,
+	// expected rank 5, top-1 chance 1/9.
+	wantPosterior := (1 + 9.0/9.0*(1.0/9.0)*9) / 10 // 1 + 9*(1/9) = 2 over 10
+	if math.Abs(rep.MeanPosterior-wantPosterior/1) > 1e-9 {
+		// Recompute directly: (1 + 9*(1/9))/10 = 0.2
+		if math.Abs(rep.MeanPosterior-0.2) > 1e-9 {
+			t.Fatalf("MeanPosterior = %v, want 0.2", rep.MeanPosterior)
+		}
+	}
+	wantTop1 := (1 + 9*(1.0/9.0)) / 10 // hub certain + each leaf 1/9
+	if math.Abs(rep.Top1Rate-wantTop1) > 1e-9 {
+		t.Fatalf("Top1Rate = %v, want %v", rep.Top1Rate, wantTop1)
+	}
+	// Top-3 shortlist: hub always; each leaf with prob 3/9.
+	wantTop3 := (1 + 9*(3.0/9.0)) / 10
+	if math.Abs(rep.TopKRate-wantTop3) > 1e-9 {
+		t.Fatalf("TopKRate = %v, want %v", rep.TopKRate, wantTop3)
+	}
+}
+
+func TestSimulateUniformGraphIsSafe(t *testing.T) {
+	// Certain cycle: all degrees equal; the adversary can do no better
+	// than uniform guessing.
+	const n = 20
+	g := uncertain.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID((i+1)%n), 1)
+	}
+	rep, err := Simulate(g, g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MeanPosterior-1.0/n) > 1e-9 {
+		t.Fatalf("MeanPosterior = %v, want 1/%d", rep.MeanPosterior, n)
+	}
+	if math.Abs(rep.Top1Rate-1.0/n) > 1e-9 {
+		t.Fatalf("Top1Rate = %v, want 1/%d", rep.Top1Rate, n)
+	}
+	if math.Abs(rep.TopKRate-5.0/n) > 1e-9 {
+		t.Fatalf("TopKRate = %v, want 5/%d", rep.TopKRate, n)
+	}
+	if math.Abs(rep.MeanRank-float64(n+1)/2) > 1e-9 {
+		t.Fatalf("MeanRank = %v, want %v", rep.MeanRank, float64(n+1)/2)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := starGraph(5)
+	if _, err := Simulate(uncertain.New(0), g, 2); err == nil {
+		t.Fatal("empty original should error")
+	}
+	if _, err := Simulate(g, starGraph(6), 2); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+	if _, err := Simulate(g, g, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestSimulateUnreachableDegree(t *testing.T) {
+	// Published graph where nobody can reach the target's degree: the
+	// attack must fail (rank ~ middle, zero posterior).
+	orig := starGraph(6) // hub degree 5
+	pub := uncertain.New(6)
+	pub.MustAddEdge(0, 1, 1) // max published degree 1
+	rep, err := Simulate(orig, pub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanPosterior >= 0.5 {
+		t.Fatalf("attack should mostly fail, MeanPosterior = %v", rep.MeanPosterior)
+	}
+}
+
+// TestAnonymizationDefeatsAttack is the end-to-end privacy validation:
+// the attack's success on the Chameleon output must collapse toward the
+// 1/k regime compared to publishing the original.
+func TestAnonymizationDefeatsAttack(t *testing.T) {
+	pa := gen.DiscreteProbs(
+		[]float64{0.13, 0.28, 0.46, 0.64, 0.80},
+		[]float64{0.15, 0.23, 0.27, 0.22, 0.13},
+	)
+	g, err := gen.BarabasiAlbert(250, 3, pa, rand.New(rand.NewPCG(3, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	res, err := core.Anonymize(g, core.Params{K: k, Epsilon: 0.04, Samples: 120, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Simulate(g, g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Simulate(g, res.Graph, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.MeanPosterior >= before.MeanPosterior {
+		t.Fatalf("anonymization should reduce the adversary's posterior: %v -> %v",
+			before.MeanPosterior, after.MeanPosterior)
+	}
+	if after.Top1Rate >= before.Top1Rate {
+		t.Fatalf("anonymization should reduce top-1 identification: %v -> %v",
+			before.Top1Rate, after.Top1Rate)
+	}
+	// (k, eps)-obf caps the posterior entropy-wise; empirically the mean
+	// posterior must be within a small factor of 1/k (eps fraction of
+	// outliers may exceed it).
+	if after.MeanPosterior > 3.0/float64(k) {
+		t.Fatalf("mean posterior %v too high for k=%d", after.MeanPosterior, k)
+	}
+}
+
+func TestShortlist(t *testing.T) {
+	g := starGraph(8) // hub degree 7, leaves degree 1
+	top := Shortlist(g, 7, 3)
+	if len(top) != 1 {
+		t.Fatalf("only the hub can have degree 7, got %d candidates", len(top))
+	}
+	if top[0].Node != 0 || math.Abs(top[0].Posterior-1) > 1e-12 {
+		t.Fatalf("shortlist = %+v", top)
+	}
+	leaves := Shortlist(g, 1, 3)
+	if len(leaves) != 3 {
+		t.Fatalf("want 3 candidates, got %d", len(leaves))
+	}
+	for _, c := range leaves {
+		if math.Abs(c.Posterior-1.0/7.0) > 1e-12 {
+			t.Fatalf("leaf posterior = %v, want 1/7", c.Posterior)
+		}
+	}
+	// Determinism: ties broken by id.
+	if leaves[0].Node != 1 || leaves[1].Node != 2 {
+		t.Fatalf("tie-breaking should be by id: %+v", leaves)
+	}
+}
+
+func TestShortlistImpossibleDegree(t *testing.T) {
+	g := starGraph(5)
+	if got := Shortlist(g, 99, 3); len(got) != 0 {
+		t.Fatalf("impossible degree should give empty shortlist, got %v", got)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	pa := gen.UniformProbs(0.2, 0.8)
+	g, err := gen.BarabasiAlbert(500, 3, pa, rand.New(rand.NewPCG(8, 1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(g, g, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

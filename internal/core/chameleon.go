@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+
+	"chameleon/internal/privacy"
+	"chameleon/internal/reliability"
+	"chameleon/internal/uncertain"
+)
+
+// Anonymize runs the Chameleon iterative skeleton (Algorithm 1): an
+// exponential search for a noise level sigma at which GenObf succeeds,
+// followed by a binary search for the smallest such sigma. Uniqueness and
+// reliability-relevance scores depend only on the input graph, so they are
+// computed once and shared across all GenObf calls.
+func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
+	p = p.withDefaults()
+	if err := p.validate(g); err != nil {
+		return nil, err
+	}
+	st, err := newSearchState(g, p)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Variant: p.Variant}
+
+	// Phase 1: exponential search for a feasible sigma. The search starts
+	// from a near-zero noise level rather than the paper's sigma_u = 1: an
+	// uncertain original often already carries enough degree entropy that
+	// tiny noise suffices, and GenObf success is not monotone in sigma, so
+	// starting high can lock the bisection into a needlessly large noise
+	// bracket.
+	sigmaLo, sigmaHi := 0.0, 4*p.SigmaTolerance
+	var best *genObfOutcome
+	for d := 0; ; d++ {
+		out := st.genObf(sigmaHi, res)
+		if out.ok() {
+			best = &out
+			break
+		}
+		if d >= p.MaxDoublings {
+			return nil, ErrNoObfuscation
+		}
+		sigmaLo, sigmaHi = sigmaHi, sigmaHi*4
+	}
+
+	// Phase 2: bisection for the smallest feasible sigma, keeping the best
+	// obfuscation found.
+	for sigmaHi-sigmaLo > p.SigmaTolerance {
+		mid := (sigmaLo + sigmaHi) / 2
+		out := st.genObf(mid, res)
+		if out.ok() {
+			sigmaHi = mid
+			best = &out
+		} else {
+			sigmaLo = mid
+		}
+	}
+
+	res.Graph = best.graph
+	res.EpsilonTilde = best.epsilon
+	res.Sigma = sigmaHi
+	return res, nil
+}
+
+// searchState holds everything GenObf needs that is invariant across the
+// sigma search: the input graph, the privacy/utility scores, the exclusion
+// set and the vertex sampling distribution.
+type searchState struct {
+	g      *uncertain.Graph
+	p      Params
+	prop   []int // adversary property (default: rounded expected degree)
+	excl   map[uncertain.NodeID]bool
+	q      []float64 // per-vertex selection weight Q^v (0 for excluded)
+	cumQ   []float64 // cumulative weights for sampling
+	target int       // |E_C| target = c*|E|
+	seq    uint64    // attempt counter for RNG derivation
+}
+
+func newSearchState(g *uncertain.Graph, p Params) (*searchState, error) {
+	n := g.NumNodes()
+
+	uniq := privacy.VertexUniqueness(g)
+
+	var vrr []float64
+	if p.Variant.reliabilitySensitive() {
+		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers}
+		edgeRel := est.EdgeRelevance(g)
+		vrr = reliability.NormalizeToUnit(reliability.VertexRelevance(g, edgeRel))
+	} else {
+		vrr = make([]float64, n)
+	}
+
+	// Exclusion: the ceil(eps/2 * |V|) vertices with the largest combined
+	// uniqueness-and-relevance score are exempted from obfuscation effort.
+	hSize := int(math.Ceil(p.Epsilon / 2 * float64(n)))
+	excl := make(map[uncertain.NodeID]bool, hSize)
+	if hSize > 0 {
+		combined := make([]float64, n)
+		for v := 0; v < n; v++ {
+			if p.Variant.reliabilitySensitive() {
+				combined[v] = uniq[v] * vrr[v]
+			} else {
+				combined[v] = uniq[v]
+			}
+		}
+		for _, v := range topK(combined, hSize) {
+			excl[uncertain.NodeID(v)] = true
+		}
+	}
+
+	// Selection weight: proportional to uniqueness, inversely proportional
+	// to (normalized) reliability relevance. VRR is re-normalized over the
+	// non-excluded vertices per Algorithm 3 line 5.
+	maxVRR := 0.0
+	for v := 0; v < n; v++ {
+		if !excl[uncertain.NodeID(v)] && vrr[v] > maxVRR {
+			maxVRR = vrr[v]
+		}
+	}
+	q := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if excl[uncertain.NodeID(v)] {
+			continue
+		}
+		w := uniq[v]
+		if p.Variant.reliabilitySensitive() && maxVRR > 0 {
+			// Keep a small floor so zero-weight vertices stay reachable.
+			w *= 1 - 0.95*(vrr[v]/maxVRR)
+		}
+		q[v] = w
+	}
+	cum := make([]float64, n)
+	var total float64
+	for v := 0; v < n; v++ {
+		total += q[v]
+		cum[v] = total
+	}
+	if total <= 0 {
+		// Degenerate scores: fall back to uniform over non-excluded.
+		total = 0
+		for v := 0; v < n; v++ {
+			if !excl[uncertain.NodeID(v)] {
+				q[v] = 1
+			}
+			total += q[v]
+			cum[v] = total
+		}
+	}
+
+	target := int(math.Round(p.SizeMultiplier * float64(g.NumEdges())))
+	if target < 1 {
+		target = 1
+	}
+	maxPairs := n * (n - 1) / 2
+	if target > maxPairs {
+		target = maxPairs
+	}
+
+	prop := p.Property
+	if prop == nil {
+		prop = privacy.DegreeProperty(g)
+	}
+	return &searchState{g: g, p: p, prop: prop, excl: excl, q: q, cumQ: cum, target: target}, nil
+}
+
+// topK returns the indices of the k largest scores.
+func topK(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort is fine: k is eps/2*|V|, tiny in practice.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if scores[idx[j]] > scores[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"chameleon/internal/privacy"
+	"chameleon/internal/truncnorm"
+	"chameleon/internal/uncertain"
+)
+
+// genObfOutcome is the <eps~, G~> pair returned by GenObf; epsilon == 1
+// signals failure (no trial achieved the tolerance).
+type genObfOutcome struct {
+	epsilon float64
+	graph   *uncertain.Graph
+}
+
+func (o genObfOutcome) ok() bool { return o.epsilon < 1 }
+
+// minInjectedProb is the floor below which an injected (previously
+// absent) edge is not materialized in the published graph.
+const minInjectedProb = 1e-3
+
+// candidate is one member of the perturbation set E_C: either an existing
+// edge (orig >= 0, p = original probability) or an injected non-edge
+// (orig < 0, p = 0).
+type candidate struct {
+	u, v uncertain.NodeID
+	p    float64
+	orig int // index into g's edge list, or -1 for a new edge
+}
+
+// genObf implements Algorithm 3: t randomized trials of edge selection and
+// perturbation at noise level sigma, returning the trial with the smallest
+// achieved epsilon~ that meets the tolerance, or epsilon~ = 1 on failure.
+func (st *searchState) genObf(sigma float64, res *Result) genObfOutcome {
+	res.GenObfCalls++
+	best := genObfOutcome{epsilon: 1}
+	for t := 0; t < st.p.Attempts; t++ {
+		res.Attempts++
+		st.seq++
+		rng := rand.New(rand.NewPCG(st.p.Seed^0xC0DEC0DE, st.seq))
+		cands := st.selectCandidates(rng)
+		pub := st.perturb(cands, sigma, rng)
+		rep, err := privacy.CheckObfuscation(pub, st.prop, st.p.K)
+		if err != nil {
+			continue
+		}
+		if rep.EpsilonTilde <= st.p.Epsilon && rep.EpsilonTilde < best.epsilon {
+			best = genObfOutcome{epsilon: rep.EpsilonTilde, graph: pub}
+		}
+	}
+	return best
+}
+
+// sampleVertex draws a vertex from the Q distribution by binary search on
+// the cumulative weights.
+func (st *searchState) sampleVertex(rng *rand.Rand) uncertain.NodeID {
+	total := st.cumQ[len(st.cumQ)-1]
+	x := rng.Float64() * total
+	i := sort.SearchFloat64s(st.cumQ, x)
+	if i >= len(st.cumQ) {
+		i = len(st.cumQ) - 1
+	}
+	return uncertain.NodeID(i)
+}
+
+// selectCandidates builds E_C (Algorithm 3 lines 9-16): it starts from the
+// full edge set, then repeatedly samples vertex pairs from Q; an existing
+// sampled edge is excluded from E_C with probability p(e) (protecting
+// reliable edges from perturbation), a sampled non-edge is added as an
+// injection candidate. The loop ends when |E_C| reaches c*|E| (or an
+// iteration cap, to stay robust on dense graphs).
+func (st *searchState) selectCandidates(rng *rand.Rand) []candidate {
+	g := st.g
+	m := g.NumEdges()
+	removed := make(map[int]bool)
+	addedSet := make(map[[2]uncertain.NodeID]bool)
+	var added [][2]uncertain.NodeID // insertion order: keeps the trial deterministic per seed
+	size := m
+	maxIter := 64 * (st.target + 16)
+	for iter := 0; size != st.target && iter < maxIter; iter++ {
+		u := st.sampleVertex(rng)
+		v := st.sampleVertex(rng)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if ei := g.EdgeIndex(u, v); ei >= 0 {
+			if !removed[ei] && size > 0 {
+				e := g.Edge(ei)
+				if rng.Float64() < e.P {
+					removed[ei] = true
+					size--
+				}
+			}
+		} else if size < st.target && !addedSet[[2]uncertain.NodeID{u, v}] {
+			addedSet[[2]uncertain.NodeID{u, v}] = true
+			added = append(added, [2]uncertain.NodeID{u, v})
+			size++
+		}
+	}
+	cands := make([]candidate, 0, size)
+	for i := 0; i < m; i++ {
+		if !removed[i] {
+			e := g.Edge(i)
+			cands = append(cands, candidate{u: e.U, v: e.V, p: e.P, orig: i})
+		}
+	}
+	for _, pair := range added {
+		cands = append(cands, candidate{u: pair[0], v: pair[1], p: 0, orig: -1})
+	}
+	return cands
+}
+
+// perturb applies the per-edge noise to the candidate set and materializes
+// the published graph. Noise budget sigma is redistributed across
+// candidates proportionally to their uncertainty level
+// Q^e = (Q^u + Q^v)/2, so that the mean of sigma(e) equals sigma. With
+// probability q (white noise) the draw is uniform on [0,1] instead of
+// truncated-normal.
+//
+// Max-entropy variants move the probability toward 1/2 along the entropy
+// gradient: p~ = p + (1-2p) * r (Section V-F, Lemma 6). The unguided RS
+// variant applies the same magnitude with a random sign, clamped to [0,1].
+func (st *searchState) perturb(cands []candidate, sigma float64, rng *rand.Rand) *uncertain.Graph {
+	var sumQ float64
+	qe := make([]float64, len(cands))
+	for i, c := range cands {
+		qe[i] = (st.q[c.u] + st.q[c.v]) / 2
+		sumQ += qe[i]
+	}
+	pub := st.g.Clone()
+	useME := st.p.Variant.maxEntropy()
+	for i, c := range cands {
+		var sigmaE float64
+		if sumQ > 0 {
+			sigmaE = sigma * float64(len(cands)) * qe[i] / sumQ
+		} else {
+			sigmaE = sigma
+		}
+		var r float64
+		if rng.Float64() < st.p.whiteNoise() {
+			r = rng.Float64()
+		} else {
+			r = truncnorm.Sample(rng, sigmaE)
+		}
+		var pNew float64
+		if useME {
+			pNew = c.p + (1-2*c.p)*r
+		} else {
+			if rng.Float64() < 0.5 {
+				r = -r
+			}
+			pNew = c.p + r
+			if pNew < 0 {
+				pNew = 0
+			} else if pNew > 1 {
+				pNew = 1
+			}
+		}
+		if c.orig >= 0 {
+			// Existing edge: overwrite its probability.
+			if err := pub.SetProb(c.orig, pNew); err != nil {
+				panic(err) // unreachable: pNew is clamped and index valid
+			}
+		} else if pNew > minInjectedProb {
+			// Injected edge. Draws that land at a negligible probability
+			// are dropped: they carry no entropy or reliability mass but
+			// would bloat the published edge list.
+			if err := pub.AddEdge(c.u, c.v, pNew); err != nil {
+				panic(err) // unreachable: pair validated at selection
+			}
+		}
+	}
+	return pub
+}

@@ -1,0 +1,171 @@
+// Package core implements the Chameleon anonymization framework: the
+// binary-search skeleton of Algorithm 1, the GenObf procedure of
+// Algorithm 3, the reliability-sensitive edge selection (RS) and the
+// anonymity-oriented max-entropy perturbation (ME), plus the ablation
+// variants evaluated in the paper (Table II).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"chameleon/internal/uncertain"
+)
+
+// Variant selects the combination of edge-selection and perturbation
+// heuristics (Table II of the paper).
+type Variant int
+
+const (
+	// RSME is full Chameleon: reliability-sensitive edge selection plus
+	// max-entropy (anonymity-oriented) probability perturbation.
+	RSME Variant = iota
+	// RS uses reliability-sensitive selection with unguided (random-sign)
+	// perturbation.
+	RS
+	// ME uses uniqueness-only selection with max-entropy perturbation.
+	ME
+	// Boldi is the conventional uncertainty-injection scheme of [7],
+	// oblivious to reliability: uniqueness-only selection with the binary
+	// injection formula. On deterministic (0/1) inputs this is exactly the
+	// published algorithm; it is the obfuscator used inside Rep-An.
+	Boldi
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case RSME:
+		return "RSME"
+	case RS:
+		return "RS"
+	case ME:
+		return "ME"
+	case Boldi:
+		return "Boldi"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// reliabilitySensitive reports whether the variant weights selection by
+// vertex reliability relevance.
+func (v Variant) reliabilitySensitive() bool { return v == RSME || v == RS }
+
+// maxEntropy reports whether the variant uses the guided (gradient-ascent)
+// perturbation p~ = p + (1-2p)*r. The Boldi scheme uses the same formula —
+// it is the deterministic special case — so only RS uses random-sign noise.
+func (v Variant) maxEntropy() bool { return v != RS }
+
+// Params configures one anonymization run.
+type Params struct {
+	// K is the obfuscation level: every non-skipped vertex must hide in an
+	// entropy of at least log2(K) candidates (Definition 3).
+	K int
+	// Epsilon is the tolerance: the fraction of vertices allowed to stay
+	// under-obfuscated.
+	Epsilon float64
+	// Variant selects the heuristic combination; default RSME.
+	Variant Variant
+
+	// SizeMultiplier is the candidate-set size factor c (|E_C| = c*|E|);
+	// default 2.0.
+	SizeMultiplier float64
+	// WhiteNoise is the uniform-noise floor q; default 0.01. Pass a
+	// negative value to disable white noise entirely.
+	WhiteNoise float64
+	// Attempts is the number of randomized trials t per GenObf call;
+	// default 5.
+	Attempts int
+	// Samples is the Monte Carlo budget for reliability-relevance
+	// estimation; default reliability.DefaultSamples.
+	Samples int
+	// Workers caps sampling parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Seed makes the run reproducible.
+	Seed uint64
+
+	// Property overrides the adversary's per-vertex auxiliary knowledge
+	// (Definition 3's vertex property P). Empty means the paper's choice:
+	// the rounded expected degree. Supplying a coarser property models a
+	// weaker adversary; it must have length |V|.
+	Property []int
+
+	// SigmaTolerance terminates the binary search when the bracket width
+	// drops below it; default 1e-3.
+	SigmaTolerance float64
+	// MaxDoublings bounds the initial exponential search; default 8
+	// (sigma up to 256).
+	MaxDoublings int
+}
+
+func (p Params) withDefaults() Params {
+	if p.SizeMultiplier <= 0 {
+		p.SizeMultiplier = 2.0
+	}
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.SigmaTolerance <= 0 {
+		p.SigmaTolerance = 1e-3
+	}
+	if p.MaxDoublings <= 0 {
+		p.MaxDoublings = 8
+	}
+	return p
+}
+
+// whiteNoise resolves the q parameter: 0 means the 0.01 default, negative
+// disables it. Resolved at use time so withDefaults stays idempotent.
+func (p Params) whiteNoise() float64 {
+	if p.WhiteNoise < 0 {
+		return 0
+	}
+	if p.WhiteNoise == 0 {
+		return 0.01
+	}
+	return p.WhiteNoise
+}
+
+func (p Params) validate(g *uncertain.Graph) error {
+	if g == nil || g.NumNodes() == 0 {
+		return errors.New("core: empty graph")
+	}
+	if g.NumEdges() == 0 {
+		return errors.New("core: graph has no edges to perturb")
+	}
+	if p.K < 2 {
+		return fmt.Errorf("core: k must be >= 2, got %d", p.K)
+	}
+	if p.K > g.NumNodes() {
+		return fmt.Errorf("core: k=%d exceeds |V|=%d", p.K, g.NumNodes())
+	}
+	if p.Epsilon < 0 || p.Epsilon >= 1 {
+		return fmt.Errorf("core: epsilon must be in [0,1), got %v", p.Epsilon)
+	}
+	if p.Property != nil && len(p.Property) != g.NumNodes() {
+		return fmt.Errorf("core: property length %d != |V| %d", len(p.Property), g.NumNodes())
+	}
+	return nil
+}
+
+// Result is the outcome of a successful anonymization.
+type Result struct {
+	// Graph is the published (k, eps)-obfuscated uncertain graph.
+	Graph *uncertain.Graph
+	// EpsilonTilde is the achieved fraction of under-obfuscated vertices
+	// (<= Params.Epsilon).
+	EpsilonTilde float64
+	// Sigma is the final noise level selected by the binary search.
+	Sigma float64
+	// GenObfCalls counts invocations of the GenObf procedure.
+	GenObfCalls int
+	// Attempts counts individual randomized trials across all calls.
+	Attempts int
+	// Variant echoes the heuristic combination used.
+	Variant Variant
+}
+
+// ErrNoObfuscation is returned when no sigma within the search budget
+// yields a (k, eps)-obfuscation.
+var ErrNoObfuscation = errors.New("core: could not find a (k,eps)-obfuscation within the noise budget")

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"chameleon/internal/gen"
+	"chameleon/internal/privacy"
+	"chameleon/internal/uncertain"
+)
+
+// TestAnonymizeAcrossTopologies is the robustness soak: every method must
+// produce a valid, verifiable obfuscation across structurally different
+// workloads — preferential attachment, uniform random, small world and
+// community-structured graphs, with all three probability profiles.
+func TestAnonymizeAcrossTopologies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 1))
+	discrete := gen.DiscreteProbs(
+		[]float64{0.13, 0.28, 0.46, 0.64, 0.80},
+		[]float64{0.15, 0.23, 0.27, 0.22, 0.13},
+	)
+	builders := []struct {
+		name  string
+		build func() (*uncertain.Graph, error)
+	}{
+		{"ba-discrete", func() (*uncertain.Graph, error) {
+			return gen.BarabasiAlbert(150, 3, discrete, rng)
+		}},
+		{"er-uniform", func() (*uncertain.Graph, error) {
+			return gen.ErdosRenyi(150, 500, gen.UniformProbs(0.1, 0.9), rng)
+		}},
+		{"ws-small", func() (*uncertain.Graph, error) {
+			return gen.WattsStrogatz(150, 3, 0.15, gen.SmallProbs(0.3), rng)
+		}},
+		{"sbm-uniform", func() (*uncertain.Graph, error) {
+			return gen.SBM(150, 3, 0.12, 0.01, gen.UniformProbs(0.3, 0.9), rng)
+		}},
+	}
+	const k, eps = 5, 0.06
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			g, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, variant := range []Variant{RSME, ME} {
+				res, err := Anonymize(g, Params{
+					K: k, Epsilon: eps, Samples: 80, Seed: 5, Variant: variant,
+				})
+				if err != nil {
+					t.Fatalf("%v on %s: %v", variant, b.name, err)
+				}
+				rep, err := privacy.CheckObfuscation(res.Graph, privacy.DegreeProperty(g), k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.EpsilonTilde > eps {
+					t.Fatalf("%v on %s: eps~ %v > %v", variant, b.name, rep.EpsilonTilde, eps)
+				}
+				for i := 0; i < res.Graph.NumEdges(); i++ {
+					if p := res.Graph.Edge(i).P; p < 0 || p > 1 {
+						t.Fatalf("%v on %s: invalid probability %v", variant, b.name, p)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,192 @@
+package dpbaseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"chameleon/internal/gen"
+	"chameleon/internal/reliability"
+	"chameleon/internal/uncertain"
+)
+
+func testGraph(t testing.TB, seed uint64) *uncertain.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(300, 3, gen.UniformProbs(0.2, 0.8), rand.New(rand.NewPCG(seed, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLaplaceDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	const b = 2.0
+	const n = 200000
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, b)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05 {
+		t.Fatalf("Laplace mean = %v, want ~0", mean)
+	}
+	// E|X| = b for Laplace(0, b).
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-b) > 0.05 {
+		t.Fatalf("Laplace E|X| = %v, want %v", meanAbs, b)
+	}
+}
+
+func TestNoisyDegreeSequence(t *testing.T) {
+	g := testGraph(t, 2)
+	degrees, err := NoisyDegreeSequence(g, Params{Epsilon: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degrees) != g.NumNodes() {
+		t.Fatalf("got %d degrees", len(degrees))
+	}
+	for v, d := range degrees {
+		if d < 0 || d > g.NumNodes()-1 {
+			t.Fatalf("degree[%d] = %d out of range", v, d)
+		}
+	}
+	// With a generous budget the noisy sequence tracks the expected one.
+	exp := g.ExpectedDegrees()
+	var mae float64
+	for v := range degrees {
+		mae += math.Abs(float64(degrees[v]) - exp[v])
+	}
+	mae /= float64(len(degrees))
+	if mae > 4 {
+		t.Fatalf("eps=1 noisy sequence MAE = %v, too large", mae)
+	}
+}
+
+func TestNoisyDegreeSequenceBudgetMatters(t *testing.T) {
+	g := testGraph(t, 4)
+	exp := g.ExpectedDegrees()
+	mae := func(eps float64) float64 {
+		var total float64
+		const reps = 5
+		for r := uint64(0); r < reps; r++ {
+			degrees, err := NoisyDegreeSequence(g, Params{Epsilon: eps, Seed: r})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range degrees {
+				total += math.Abs(float64(degrees[v]) - exp[v])
+			}
+		}
+		return total / float64(reps*len(exp))
+	}
+	if loose, tight := mae(0.1), mae(10); loose <= tight {
+		t.Fatalf("smaller epsilon must add more noise: eps=0.1 MAE %v vs eps=10 MAE %v", loose, tight)
+	}
+}
+
+func TestNoisyDegreeSequenceErrors(t *testing.T) {
+	g := testGraph(t, 5)
+	if _, err := NoisyDegreeSequence(g, Params{Epsilon: 0}); err == nil {
+		t.Fatal("epsilon=0 should error")
+	}
+	if _, err := NoisyDegreeSequence(g, Params{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon should error")
+	}
+}
+
+func TestConfigurationModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	degrees := []int{3, 2, 2, 2, 1}
+	g, err := ConfigurationModel(5, degrees, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Erased model: at most sum(d)/2 edges, all with the given probability.
+	if g.NumEdges() > 5 {
+		t.Fatalf("edges = %d, want <= 5", g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i).P != 0.5 {
+			t.Fatalf("edge prob = %v", g.Edge(i).P)
+		}
+	}
+}
+
+func TestConfigurationModelErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	if _, err := ConfigurationModel(3, []int{1, 1}, 0.5, rng); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := ConfigurationModel(2, []int{-1, 1}, 0.5, rng); err == nil {
+		t.Fatal("negative degree should error")
+	}
+	if _, err := ConfigurationModel(2, []int{1, 1}, 0, rng); err == nil {
+		t.Fatal("zero edge probability should error")
+	}
+	if _, err := ConfigurationModel(2, []int{1, 1}, 1.5, rng); err == nil {
+		t.Fatal("edge probability > 1 should error")
+	}
+}
+
+func TestReleasePreservesDegreeProfile(t *testing.T) {
+	g := testGraph(t, 8)
+	rel, err := Release(g, Params{Epsilon: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumNodes() != g.NumNodes() {
+		t.Fatal("vertex count changed")
+	}
+	// The dK-1 release approximately preserves the degree profile...
+	if e := DegreeSequenceError(g, rel); e > 3 {
+		t.Fatalf("degree sequence error = %v, too large for eps=2", e)
+	}
+}
+
+// TestReleaseDestroysReliability confirms the related-work claim the
+// baseline exists for: a dK-1 DP release preserves degrees but loses the
+// reliability structure almost entirely, far worse than Chameleon.
+func TestReleaseDestroysReliability(t *testing.T) {
+	g := testGraph(t, 10)
+	rel, err := Release(g, Params{Epsilon: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := reliability.Estimator{Samples: 300, Seed: 12}
+	disc, err := est.RelativeDiscrepancy(g, rel, reliability.PairSample{Pairs: 2000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc < 0.2 {
+		t.Fatalf("a synthetic regeneration should lose substantial reliability, got %v", disc)
+	}
+}
+
+func TestReleaseDefaultEdgeProb(t *testing.T) {
+	g := testGraph(t, 14)
+	rel, err := Release(g, Params{Epsilon: 1, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumEdges() == 0 {
+		t.Fatal("release should have edges")
+	}
+	if p := rel.Edge(0).P; math.Abs(p-g.MeanProb()) > 1e-12 {
+		t.Fatalf("default edge probability %v, want mean %v", p, g.MeanProb())
+	}
+}
+
+func TestDegreeSequenceErrorIdentical(t *testing.T) {
+	g := testGraph(t, 16)
+	if e := DegreeSequenceError(g, g.Clone()); e != 0 {
+		t.Fatalf("identical graphs should have zero error, got %v", e)
+	}
+	if e := DegreeSequenceError(uncertain.New(0), uncertain.New(0)); e != 0 {
+		t.Fatalf("empty graphs: %v", e)
+	}
+}

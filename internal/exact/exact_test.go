@@ -1,0 +1,316 @@
+package exact
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/uncertain"
+)
+
+const tol = 1e-12
+
+func TestForEachWorldProbabilitiesSumToOne(t *testing.T) {
+	g := uncertain.New(3)
+	g.MustAddEdge(0, 1, 0.3)
+	g.MustAddEdge(1, 2, 0.7)
+	g.MustAddEdge(0, 2, 0.5)
+	var total float64
+	worlds := 0
+	if err := ForEachWorld(g, func(mask []bool, pr float64) {
+		total += pr
+		worlds++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-1) > tol {
+		t.Fatalf("world probabilities sum to %v, want 1", total)
+	}
+	if worlds != 8 {
+		t.Fatalf("enumerated %d worlds, want 8", worlds)
+	}
+}
+
+func TestForEachWorldSkipsZeroProbability(t *testing.T) {
+	g := uncertain.New(2)
+	g.MustAddEdge(0, 1, 1)
+	worlds := 0
+	if err := ForEachWorld(g, func(mask []bool, pr float64) { worlds++ }); err != nil {
+		t.Fatal(err)
+	}
+	if worlds != 1 {
+		t.Fatalf("p=1 edge: %d worlds visited, want 1", worlds)
+	}
+}
+
+func TestForEachWorldEdgeLimit(t *testing.T) {
+	g := uncertain.New(30)
+	for i := 0; i < MaxEdges+1; i++ {
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), 0.5)
+	}
+	if err := ForEachWorld(g, func([]bool, float64) {}); err == nil {
+		t.Fatal("exceeding MaxEdges should error")
+	}
+}
+
+func TestPairReliabilitySingleEdge(t *testing.T) {
+	g := uncertain.New(2)
+	g.MustAddEdge(0, 1, 0.37)
+	r, err := PairReliability(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.37) > tol {
+		t.Fatalf("R = %v, want 0.37", r)
+	}
+}
+
+func TestPairReliabilitySeries(t *testing.T) {
+	// 0 -0.5- 1 -0.4- 2: R(0,2) = 0.2.
+	g := uncertain.New(3)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.4)
+	r, err := PairReliability(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.2) > tol {
+		t.Fatalf("series R = %v, want 0.2", r)
+	}
+}
+
+func TestPairReliabilityParallel(t *testing.T) {
+	// Two parallel 2-hop paths from 0 to 3 via 1 and 2, all p=0.5:
+	// each path works with prob 0.25; R = 1-(1-0.25)^2 = 0.4375.
+	g := uncertain.New(4)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 3, 0.5)
+	g.MustAddEdge(0, 2, 0.5)
+	g.MustAddEdge(2, 3, 0.5)
+	r, err := PairReliability(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.4375) > tol {
+		t.Fatalf("parallel R = %v, want 0.4375", r)
+	}
+}
+
+func TestAllPairReliability(t *testing.T) {
+	g := uncertain.New(3)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.4)
+	r, err := AllPairReliability(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if r[i][i] != 1 {
+			t.Fatalf("diagonal r[%d][%d] = %v, want 1", i, i, r[i][i])
+		}
+		for j := 0; j < 3; j++ {
+			if r[i][j] != r[j][i] {
+				t.Fatal("matrix should be symmetric")
+			}
+		}
+	}
+	if math.Abs(r[0][2]-0.2) > tol {
+		t.Fatalf("r[0][2] = %v, want 0.2", r[0][2])
+	}
+	// Check consistency with the single-pair function.
+	for u := 0; u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			single, err := PairReliability(g, uncertain.NodeID(u), uncertain.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(single-r[u][v]) > tol {
+				t.Fatalf("pair (%d,%d): %v vs matrix %v", u, v, single, r[u][v])
+			}
+		}
+	}
+}
+
+func TestExpectedConnectedPairs(t *testing.T) {
+	// Single edge p: E[cc] = p.
+	g := uncertain.New(3)
+	g.MustAddEdge(0, 1, 0.3)
+	cc, err := ExpectedConnectedPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cc-0.3) > tol {
+		t.Fatalf("E[cc] = %v, want 0.3", cc)
+	}
+	// E[cc] must equal the sum of pair reliabilities.
+	g2 := uncertain.New(4)
+	g2.MustAddEdge(0, 1, 0.5)
+	g2.MustAddEdge(1, 2, 0.7)
+	g2.MustAddEdge(2, 3, 0.2)
+	g2.MustAddEdge(0, 3, 0.9)
+	cc2, err := ExpectedConnectedPairs(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AllPairReliability(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			sum += r[u][v]
+		}
+	}
+	if math.Abs(cc2-sum) > tol {
+		t.Fatalf("E[cc] = %v, sum of reliabilities = %v", cc2, sum)
+	}
+}
+
+func TestDiscrepancyIdenticalIsZero(t *testing.T) {
+	g := uncertain.New(3)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.4)
+	d, err := Discrepancy(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("Discrepancy(g,g) = %v, want 0", d)
+	}
+}
+
+func TestDiscrepancySingleEdgeChange(t *testing.T) {
+	g := uncertain.New(2)
+	g.MustAddEdge(0, 1, 0.5)
+	h := g.Clone()
+	if err := h.SetProb(0, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Discrepancy(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.3) > tol {
+		t.Fatalf("Discrepancy = %v, want 0.3", d)
+	}
+}
+
+func TestDiscrepancyNodeMismatch(t *testing.T) {
+	g := uncertain.New(2)
+	g.MustAddEdge(0, 1, 0.5)
+	h := uncertain.New(3)
+	h.MustAddEdge(0, 1, 0.5)
+	if _, err := Discrepancy(g, h); err == nil {
+		t.Fatal("node-count mismatch should error")
+	}
+}
+
+func TestEdgeRelevanceBridgeVsRedundant(t *testing.T) {
+	// Triangle 0-1-2 (edges 0,1,2) plus pendant bridge 2-3 (edge 3).
+	// The bridge must have strictly higher relevance than any triangle
+	// edge: removing a triangle edge leaves connectivity intact.
+	g := uncertain.New(4)
+	g.MustAddEdge(0, 1, 0.8)
+	g.MustAddEdge(1, 2, 0.8)
+	g.MustAddEdge(0, 2, 0.8)
+	g.MustAddEdge(2, 3, 0.8)
+	rel, err := EdgeReliabilityRelevance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if rel[3] <= rel[i] {
+			t.Fatalf("bridge relevance %v should exceed triangle edge %d relevance %v",
+				rel[3], i, rel[i])
+		}
+	}
+	// A bridge to a leaf connects the leaf to everything: ERR = 3 pairs
+	// reachable when present (times path reliabilities), and exactly 0
+	// connected pairs involving node 3 when absent.
+	if rel[3] <= 0 {
+		t.Fatal("bridge relevance must be positive")
+	}
+}
+
+// TestFactorizationLemma verifies Lemma 1: R_uv(G) =
+// p(e) R_uv(G_e) + (1-p(e)) R_uv(G_not_e) on random small graphs.
+func TestFactorizationLemma(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 3 + rng.IntN(4)
+		g := uncertain.New(n)
+		m := 1 + rng.IntN(7)
+		for i := 0; i < m; i++ {
+			u := uncertain.NodeID(rng.IntN(n))
+			v := uncertain.NodeID(rng.IntN(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, rng.Float64())
+		}
+		if g.NumEdges() == 0 {
+			return true
+		}
+		e := rng.IntN(g.NumEdges())
+		p := g.Edge(e).P
+		ge := g.Clone()
+		if err := ge.SetProb(e, 1); err != nil {
+			return false
+		}
+		gne := g.Clone()
+		if err := gne.SetProb(e, 0); err != nil {
+			return false
+		}
+		u := uncertain.NodeID(rng.IntN(n))
+		v := uncertain.NodeID(rng.IntN(n))
+		if u == v {
+			return true
+		}
+		r, err := PairReliability(g, u, v)
+		if err != nil {
+			return false
+		}
+		re, err := PairReliability(ge, u, v)
+		if err != nil {
+			return false
+		}
+		rne, err := PairReliability(gne, u, v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r-(p*re+(1-p)*rne)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeDistributionMatchesEnumeration(t *testing.T) {
+	g := uncertain.New(4)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(0, 2, 0.3)
+	g.MustAddEdge(0, 3, 0.9)
+	dist := DegreeDistribution(g, 0)
+	// Brute force over the 8 states of the three incident edges.
+	want := make([]float64, 4)
+	probs := []float64{0.5, 0.3, 0.9}
+	for bits := 0; bits < 8; bits++ {
+		pr, deg := 1.0, 0
+		for i, p := range probs {
+			if bits&(1<<i) != 0 {
+				pr *= p
+				deg++
+			} else {
+				pr *= 1 - p
+			}
+		}
+		want[deg] += pr
+	}
+	for j := range want {
+		if math.Abs(dist[j]-want[j]) > tol {
+			t.Fatalf("dist[%d] = %v, want %v", j, dist[j], want[j])
+		}
+	}
+}

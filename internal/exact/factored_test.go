@@ -1,0 +1,189 @@
+package exact
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/uncertain"
+)
+
+func TestFactoredMatchesEnumeration(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		n := 3 + rng.IntN(5)
+		g := uncertain.New(n)
+		m := 1 + rng.IntN(10)
+		for i := 0; i < m; i++ {
+			u := uncertain.NodeID(rng.IntN(n))
+			v := uncertain.NodeID(rng.IntN(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			// Mix in deterministic edges to exercise the root folding.
+			p := rng.Float64()
+			switch rng.IntN(5) {
+			case 0:
+				p = 0
+			case 1:
+				p = 1
+			}
+			g.MustAddEdge(u, v, p)
+		}
+		u := uncertain.NodeID(rng.IntN(n))
+		v := uncertain.NodeID(rng.IntN(n))
+		want, err := PairReliability(g, u, v)
+		if err != nil {
+			// u == v: enumeration path does not special-case it.
+			return u == v
+		}
+		got, err := PairReliabilityFactored(g, u, v)
+		if err != nil {
+			return false
+		}
+		if u == v {
+			return got == 1
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactoredSelfPair(t *testing.T) {
+	g := uncertain.New(3)
+	g.MustAddEdge(0, 1, 0.5)
+	r, err := PairReliabilityFactored(g, 1, 1)
+	if err != nil || r != 1 {
+		t.Fatalf("self reliability = %v, %v", r, err)
+	}
+}
+
+func TestFactoredRangeCheck(t *testing.T) {
+	g := uncertain.New(2)
+	g.MustAddEdge(0, 1, 0.5)
+	if _, err := PairReliabilityFactored(g, 0, 5); err == nil {
+		t.Fatal("out-of-range vertex should error")
+	}
+}
+
+func TestFactoredLongPathBeyondEnumerationLimit(t *testing.T) {
+	// A 60-edge path is far beyond ForEachWorld's 24-edge cap but trivial
+	// for factoring: R(0, n-1) = prod p_i.
+	const n = 61
+	g := uncertain.New(n)
+	want := 1.0
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < n-1; i++ {
+		p := 0.8 + 0.19*rng.Float64()
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), p)
+		want *= p
+	}
+	got, err := PairReliabilityFactored(g, 0, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("path reliability = %v, want %v", got, want)
+	}
+}
+
+func TestFactoredTree(t *testing.T) {
+	// Star: R(leaf_i, leaf_j) = p_i * p_j.
+	g := uncertain.New(30)
+	probs := make([]float64, 29)
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 1; i < 30; i++ {
+		probs[i-1] = rng.Float64()
+		g.MustAddEdge(0, uncertain.NodeID(i), probs[i-1])
+	}
+	got, err := PairReliabilityFactored(g, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := probs[2] * probs[16]
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("star reliability = %v, want %v", got, want)
+	}
+}
+
+func TestFactoredSeriesParallel(t *testing.T) {
+	// Two disjoint 3-hop paths from s to t: R = 1 - (1 - p^3)^2 with p=0.5.
+	g := uncertain.New(6)
+	// Path A: 0-2-3-1, Path B: 0-4-5-1.
+	for _, e := range [][2]uncertain.NodeID{{0, 2}, {2, 3}, {3, 1}, {0, 4}, {4, 5}, {5, 1}} {
+		g.MustAddEdge(e[0], e[1], 0.5)
+	}
+	got, err := PairReliabilityFactored(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPath := 0.125
+	want := 1 - (1-pPath)*(1-pPath)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("parallel paths reliability = %v, want %v", got, want)
+	}
+}
+
+func TestFactoredDisconnected(t *testing.T) {
+	g := uncertain.New(4)
+	g.MustAddEdge(0, 1, 0.9)
+	g.MustAddEdge(2, 3, 0.9)
+	got, err := PairReliabilityFactored(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("cross-component reliability = %v, want 0", got)
+	}
+}
+
+func TestFactoredDeterministicShortcut(t *testing.T) {
+	// A certain path between u and v: reliability exactly 1 regardless of
+	// any other uncertain edges.
+	g := uncertain.New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	for i := 0; i < 4; i++ {
+		if !g.HasEdge(uncertain.NodeID(i), uncertain.NodeID(i+1)) {
+			g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), 0.1)
+		}
+	}
+	got, err := PairReliabilityFactored(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("certain path reliability = %v, want 1", got)
+	}
+}
+
+func BenchmarkFactoredVsEnumeration(b *testing.B) {
+	// 18-edge sparse graph: within enumeration's reach, to compare costs.
+	rng := rand.New(rand.NewPCG(9, 9))
+	g := uncertain.New(12)
+	for g.NumEdges() < 18 {
+		u := uncertain.NodeID(rng.IntN(12))
+		v := uncertain.NodeID(rng.IntN(12))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, rng.Float64())
+	}
+	b.Run("enumeration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := PairReliability(g, 0, 11); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("factoring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := PairReliabilityFactored(g, 0, 11); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

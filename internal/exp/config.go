@@ -1,0 +1,123 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Table I, Table II, Figures 3, 4, 8, 9,
+// 10, 11) plus the ablation studies, on the scaled synthetic datasets
+// documented in DESIGN.md.
+package exp
+
+import (
+	"math/rand/v2"
+
+	"chameleon/internal/gen"
+	"chameleon/internal/uncertain"
+)
+
+// Config controls the fidelity/cost trade-off of an experiment run.
+type Config struct {
+	// Samples is the Monte Carlo budget for reliability estimation
+	// (default 1000, the paper's setting).
+	Samples int
+	// MetricSamples is the world budget for distance/clustering metrics
+	// (default 50).
+	MetricSamples int
+	// Pairs is the vertex-pair sample for discrepancy estimation
+	// (default 20000).
+	Pairs int
+	// PaperKs are the obfuscation levels at paper scale; they are mapped
+	// to each dataset via k/|V| scaling. Default {100, 150, 200, 250, 300}.
+	PaperKs []int
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Quick switches to miniature datasets and reduced budgets; used by
+	// tests and the -quick CLI flag.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples <= 0 {
+		if c.Quick {
+			c.Samples = 200
+		} else {
+			c.Samples = 1000
+		}
+	}
+	if c.MetricSamples <= 0 {
+		if c.Quick {
+			c.MetricSamples = 10
+		} else {
+			c.MetricSamples = 50
+		}
+	}
+	if c.Pairs <= 0 {
+		if c.Quick {
+			c.Pairs = 2000
+		} else {
+			c.Pairs = 20000
+		}
+	}
+	if len(c.PaperKs) == 0 {
+		c.PaperKs = []int{100, 150, 200, 250, 300}
+	}
+	return c
+}
+
+// Datasets returns the evaluation datasets for this configuration: the
+// scaled DBLP/BRIGHTKITE/PPI stand-ins, or miniatures in Quick mode.
+func (c Config) Datasets() []gen.Dataset {
+	if !c.Quick {
+		return gen.Datasets()
+	}
+	return quickDatasets()
+}
+
+// quickDatasets are miniature versions of the three datasets preserving
+// the topology family and probability profile, for fast tests and benches.
+func quickDatasets() []gen.Dataset {
+	return []gen.Dataset{
+		{
+			Name: "dblp-q", PaperName: "DBLP", PaperNodes: 824774,
+			PaperEdges: 5566096, PaperMeanP: 0.46, PaperEps: 1e-4,
+			Nodes: 400, Epsilon: 0.02, Ks: []int{5, 8, 10, 14, 18},
+			Build: func(rng *rand.Rand) (*uncertain.Graph, error) {
+				pa := gen.DiscreteProbs(
+					[]float64{0.13, 0.28, 0.46, 0.64, 0.80},
+					[]float64{0.15, 0.23, 0.27, 0.22, 0.13},
+				)
+				return gen.BarabasiAlbert(400, 3, pa, rng)
+			},
+		},
+		{
+			Name: "brightkite-q", PaperName: "BRIGHTKITE", PaperNodes: 58228,
+			PaperEdges: 214078, PaperMeanP: 0.29, PaperEps: 1e-3,
+			Nodes: 300, Epsilon: 0.03, Ks: []int{5, 8, 10, 14, 18},
+			Build: func(rng *rand.Rand) (*uncertain.Graph, error) {
+				return gen.BarabasiAlbert(300, 2, gen.SmallProbs(0.29), rng)
+			},
+		},
+		{
+			Name: "ppi-q", PaperName: "PPI", PaperNodes: 12420,
+			PaperEdges: 397309, PaperMeanP: 0.29, PaperEps: 1e-2,
+			Nodes: 200, Epsilon: 0.05, Ks: []int{5, 8, 10, 14, 18},
+			Build: func(rng *rand.Rand) (*uncertain.Graph, error) {
+				return gen.BarabasiAlbert(200, 8, gen.UniformProbs(0.02, 0.56), rng)
+			},
+		},
+	}
+}
+
+// BuildDataset materializes one dataset deterministically from the
+// configured seed.
+func (c Config) BuildDataset(d gen.Dataset) (*uncertain.Graph, error) {
+	rng := rand.New(rand.NewPCG(c.Seed, hashName(d.Name)))
+	return d.Build(rng)
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

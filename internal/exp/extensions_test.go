@@ -1,0 +1,280 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAttackExperiment(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100} // mid element of a single-element sweep
+	rows, err := c.AttackExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets x (original + 4 methods).
+	if len(rows) != 15 {
+		t.Fatalf("got %d rows, want 15", len(rows))
+	}
+	byKey := map[string]AttackRow{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Method] = r
+	}
+	for _, ds := range []string{"dblp-q", "brightkite-q", "ppi-q"} {
+		orig := byKey[ds+"/original"]
+		rsme := byKey[ds+"/RSME"]
+		if rsme.Failed {
+			t.Fatalf("%s: RSME should succeed at the smallest k", ds)
+		}
+		if rsme.MeanPosterior >= orig.MeanPosterior {
+			t.Fatalf("%s: anonymization should reduce the adversary's posterior (%v -> %v)",
+				ds, orig.MeanPosterior, rsme.MeanPosterior)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAttack(&buf, rows)
+	if !strings.Contains(buf.String(), "original") || !strings.Contains(buf.String(), "mean posterior") {
+		t.Fatalf("attack table:\n%s", buf.String())
+	}
+}
+
+func TestKNNExperiment(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100}
+	rows, err := c.KNNExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	byKey := map[string]KNNRow{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Method] = r
+	}
+	for _, ds := range []string{"dblp-q", "brightkite-q", "ppi-q"} {
+		rsme := byKey[ds+"/RSME"]
+		repan := byKey[ds+"/Rep-An"]
+		if rsme.Failed || repan.Failed {
+			t.Fatalf("%s: methods should succeed at the smallest k", ds)
+		}
+		// RSME must preserve at least as much k-NN structure as Rep-An
+		// (on dense quick datasets both can saturate near 1).
+		if rsme.Score < repan.Score-1e-6 {
+			t.Fatalf("%s: RSME should preserve k-NN at least as well as Rep-An (%v vs %v)",
+				ds, rsme.Score, repan.Score)
+		}
+		if rsme.Score <= 0 || rsme.Score > 1 {
+			t.Fatalf("%s: score %v out of (0,1]", ds, rsme.Score)
+		}
+	}
+	var buf bytes.Buffer
+	WriteKNN(&buf, rows)
+	if !strings.Contains(buf.String(), "preservation") {
+		t.Fatalf("knn table:\n%s", buf.String())
+	}
+}
+
+func TestCSweepAblation(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100, 150} // top = 150 -> a moderate k
+	rows, err := c.CSweepAblation([]float64{1.5, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	var buf bytes.Buffer
+	WriteCSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "candidate-set multiplier") {
+		t.Fatalf("c-sweep table:\n%s", buf.String())
+	}
+}
+
+func TestCSweepDefaults(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100}
+	rows, err := c.CSweepAblation(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("default multipliers should give 4 rows, got %d", len(rows))
+	}
+}
+
+func TestConvergenceStudy(t *testing.T) {
+	c := quickCfg()
+	g, err := c.BuildDataset(c.Datasets()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ConvergenceStudy(g, []int{20, 200, 2000}, 8, 3)
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	// The estimator spread must shrink monotonically with the budget —
+	// this is the paper's "1000 samples suffice" heuristic.
+	if !(rows[0].CV > rows[1].CV && rows[1].CV > rows[2].CV) {
+		t.Fatalf("CV should shrink with samples: %v %v %v", rows[0].CV, rows[1].CV, rows[2].CV)
+	}
+	// 1/sqrt(N) scaling: a 10x budget should cut the CV by roughly
+	// sqrt(10); allow a generous band.
+	ratio := rows[0].CV / rows[2].CV
+	if ratio < 3 {
+		t.Fatalf("100x budget should cut CV by ~10x, got %vx", ratio)
+	}
+	var buf bytes.Buffer
+	WriteConvergence(&buf, rows)
+	if !strings.Contains(buf.String(), "1000-sample") {
+		t.Fatalf("convergence table:\n%s", buf.String())
+	}
+}
+
+func TestConvergenceStudyDefaults(t *testing.T) {
+	c := quickCfg()
+	g, err := c.BuildDataset(c.Datasets()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ConvergenceStudy(g, nil, 0, 1)
+	if len(rows) != 3 || rows[0].Samples != 10 || rows[2].Samples != 1000 {
+		t.Fatalf("default budgets wrong: %+v", rows)
+	}
+}
+
+func TestDPComparison(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100}
+	rows, err := c.DPComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets x (RSME + LT + 2 DP budgets).
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	byKey := map[string]DPRow{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Method] = r
+	}
+	for _, ds := range []string{"dblp-q", "brightkite-q", "ppi-q"} {
+		rsme := byKey[ds+"/RSME"]
+		dp := byKey[ds+"/DP-1K(2.0)"]
+		if rsme.Failed {
+			t.Fatalf("%s: RSME should succeed", ds)
+		}
+		// The related-work claim: DP regeneration destroys reliability
+		// relative to the uncertainty-aware release.
+		if rsme.RelDiscrepancy >= dp.RelDiscrepancy {
+			t.Fatalf("%s: RSME reliability loss %v should be below DP's %v",
+				ds, rsme.RelDiscrepancy, dp.RelDiscrepancy)
+		}
+		// And the deterministic k-degree pipeline pays the Rep-An-style
+		// extraction cost too.
+		lt := byKey[ds+"/LT-kdeg"]
+		if !lt.Failed && rsme.RelDiscrepancy >= lt.RelDiscrepancy {
+			t.Fatalf("%s: RSME reliability loss %v should be below LT's %v",
+				ds, rsme.RelDiscrepancy, lt.RelDiscrepancy)
+		}
+	}
+	var buf bytes.Buffer
+	WriteDP(&buf, rows)
+	if !strings.Contains(buf.String(), "DP-1K") {
+		t.Fatalf("dp table:\n%s", buf.String())
+	}
+}
+
+func TestCentralityExperiment(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100}
+	rows, err := c.CentralityExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Method == "RSME" && r.Failed {
+			t.Fatalf("%s: RSME should succeed", r.Dataset)
+		}
+		if !r.Failed && (r.Overlap < 0 || r.Overlap > 1) {
+			t.Fatalf("overlap %v out of [0,1]", r.Overlap)
+		}
+	}
+	var buf bytes.Buffer
+	WriteCentrality(&buf, rows)
+	if !strings.Contains(buf.String(), "betweenness preservation") {
+		t.Fatalf("centrality table:\n%s", buf.String())
+	}
+}
+
+func TestExtractionAblation(t *testing.T) {
+	c := quickCfg()
+	rows, err := c.ExtractionAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byName := map[string]ExtractionRow{}
+	for _, r := range rows {
+		byName[r.Extractor] = r
+	}
+	// Each refinement must beat (or tie) the raw most-probable world on
+	// its own objective.
+	if byName["ADR"].DegreeFit > byName["most-probable"].DegreeFit {
+		t.Fatalf("ADR degree fit %v worse than MP %v",
+			byName["ADR"].DegreeFit, byName["most-probable"].DegreeFit)
+	}
+	if byName["ABM"].BetwFit > byName["most-probable"].BetwFit {
+		t.Fatalf("ABM betweenness fit %v worse than MP %v",
+			byName["ABM"].BetwFit, byName["most-probable"].BetwFit)
+	}
+	var buf bytes.Buffer
+	WriteExtraction(&buf, rows)
+	if !strings.Contains(buf.String(), "ABM") {
+		t.Fatalf("extraction table:\n%s", buf.String())
+	}
+}
+
+func TestEpsilonSweep(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100}
+	rows, err := c.EpsilonSweep([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// The loose tolerance must be feasible and never need more noise than
+	// the strict one.
+	if rows[1].Failed {
+		t.Fatal("loose tolerance should be feasible")
+	}
+	if !rows[0].Failed && rows[1].Sigma > rows[0].Sigma+1e-9 {
+		t.Fatalf("looser eps should not need more noise: %v vs %v", rows[1].Sigma, rows[0].Sigma)
+	}
+	var buf bytes.Buffer
+	WriteEpsilonSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "tolerance sweep") {
+		t.Fatalf("epsilon table:\n%s", buf.String())
+	}
+}
+
+func TestEpsilonSweepDefaults(t *testing.T) {
+	c := quickCfg()
+	c.PaperKs = []int{100}
+	rows, err := c.EpsilonSweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("default multipliers should give 4 rows, got %d", len(rows))
+	}
+}

@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"testing"
+
+	"chameleon/internal/uncertain"
+)
+
+// These tests pin the substitution contract of DESIGN.md §3: each scaled
+// dataset must reproduce the shape properties Figure 3 reports for its
+// paper counterpart. If a generator change breaks one of these, the
+// experiment harness is no longer reproducing the paper's workloads.
+
+func buildFidelity(t *testing.T, name string) *uncertain.Graph {
+	t.Helper()
+	d, err := DatasetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Build(rng(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDBLPFidelityDiscreteProbabilities(t *testing.T) {
+	// "the DBLP dataset only has a few probability values" (Fig. 3a).
+	g := buildFidelity(t, "dblp-s")
+	distinct := map[float64]bool{}
+	for _, e := range g.Edges() {
+		distinct[e.P] = true
+	}
+	if len(distinct) > 8 {
+		t.Fatalf("dblp-s has %d distinct probabilities, want a handful", len(distinct))
+	}
+}
+
+func TestBrightkiteFidelitySmallProbabilities(t *testing.T) {
+	// "Brightkite dataset's probability values are generally very small".
+	g := buildFidelity(t, "brightkite-s")
+	small := 0
+	for _, e := range g.Edges() {
+		if e.P < 0.3 {
+			small++
+		}
+	}
+	if frac := float64(small) / float64(g.NumEdges()); frac < 0.6 {
+		t.Fatalf("only %.0f%% of brightkite-s probabilities are small, want >= 60%%", 100*frac)
+	}
+}
+
+func TestPPIFidelityUniformProbabilities(t *testing.T) {
+	// "The PPI dataset has a more uniform probability distribution":
+	// no histogram bin over its support should dominate.
+	g := buildFidelity(t, "ppi-s")
+	h := g.ProbHistogram(10)
+	occupied := 0
+	maxBin := 0
+	for _, c := range h {
+		if c > 0 {
+			occupied++
+		}
+		if c > maxBin {
+			maxBin = c
+		}
+	}
+	if occupied < 5 {
+		t.Fatalf("ppi-s probabilities occupy only %d bins", occupied)
+	}
+	if float64(maxBin) > 2.5*float64(g.NumEdges())/float64(occupied) {
+		t.Fatalf("ppi-s probability histogram too peaked: max bin %d of %d edges", maxBin, g.NumEdges())
+	}
+}
+
+func TestAllDatasetsHeavyTailed(t *testing.T) {
+	// "all the three graphs have a heavy-tailed degree distribution
+	// (i.e., an amount of unique nodes)" (Fig. 3b).
+	for _, name := range []string{"dblp-s", "brightkite-s", "ppi-s"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g := buildFidelity(t, name)
+			maxDeg, sumDeg := 0, 0
+			for v := 0; v < g.NumNodes(); v++ {
+				d := g.Degree(uncertain.NodeID(v))
+				sumDeg += d
+				if d > maxDeg {
+					maxDeg = d
+				}
+			}
+			avg := float64(sumDeg) / float64(g.NumNodes())
+			if float64(maxDeg) < 6*avg {
+				t.Fatalf("max degree %d vs avg %.1f: no heavy tail", maxDeg, avg)
+			}
+			// Unique high-degree nodes exist: the top degree value should
+			// be held by very few vertices.
+			hist := g.StructuralDegreeHistogram()
+			topHolders := 0
+			for d := len(hist) - 1; d >= 0 && topHolders < 5; d-- {
+				topHolders += hist[d]
+			}
+			if topHolders > 20 {
+				t.Fatalf("tail is too crowded: %d holders of the top degrees", topHolders)
+			}
+		})
+	}
+}
+
+func TestDensityOrderingMatchesPaper(t *testing.T) {
+	// Table I: PPI is far denser than DBLP, which is denser than
+	// Brightkite (average degrees ~64, ~13.5, ~7.3 in the paper).
+	var avg [3]float64
+	for i, name := range []string{"dblp-s", "brightkite-s", "ppi-s"} {
+		g := buildFidelity(t, name)
+		avg[i] = 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	}
+	dblp, brightkite, ppi := avg[0], avg[1], avg[2]
+	if !(ppi > dblp && dblp > brightkite) {
+		t.Fatalf("density ordering broken: ppi %.1f, dblp %.1f, brightkite %.1f", ppi, dblp, brightkite)
+	}
+}

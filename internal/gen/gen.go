@@ -1,0 +1,195 @@
+// Package gen builds synthetic uncertain graphs: classic random topologies
+// (Erdős–Rényi, Barabási–Albert, stochastic block model) combined with edge
+// probability assigners that reproduce the probability profiles of the
+// paper's datasets (Figure 3).
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"chameleon/internal/uncertain"
+)
+
+// ProbAssigner draws an existence probability for a fresh edge.
+type ProbAssigner func(rng *rand.Rand) float64
+
+// UniformProbs assigns probabilities uniformly in [lo, hi].
+func UniformProbs(lo, hi float64) ProbAssigner {
+	return func(rng *rand.Rand) float64 {
+		return lo + (hi-lo)*rng.Float64()
+	}
+}
+
+// DiscreteProbs assigns one of the given values with the given weights.
+// Reproduces the DBLP profile: "only a few probability values" (Fig. 3a).
+func DiscreteProbs(values, weights []float64) ProbAssigner {
+	if len(values) != len(weights) || len(values) == 0 {
+		panic("gen: values/weights mismatch")
+	}
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	return func(rng *rand.Rand) float64 {
+		x := rng.Float64() * total
+		for i, c := range cum {
+			if x <= c {
+				return values[i]
+			}
+		}
+		return values[len(values)-1]
+	}
+}
+
+// SmallProbs assigns predominantly small probabilities: an exponential
+// with the given mean, truncated to (0, 1]. Reproduces the BRIGHTKITE
+// profile ("probability values are generally very small", Fig. 3a).
+func SmallProbs(mean float64) ProbAssigner {
+	return func(rng *rand.Rand) float64 {
+		for {
+			p := rng.ExpFloat64() * mean
+			if p > 0 && p <= 1 {
+				return p
+			}
+		}
+	}
+}
+
+// ErdosRenyi generates G(n, m): m distinct uniformly random edges over n
+// vertices, probabilities drawn from pa.
+func ErdosRenyi(n, m int, pa ProbAssigner, rng *rand.Rand) (*uncertain.Graph, error) {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		return nil, fmt.Errorf("gen: cannot place %d edges in a %d-vertex simple graph", m, n)
+	}
+	g := uncertain.New(n)
+	for g.NumEdges() < m {
+		u := uncertain.NodeID(rng.IntN(n))
+		v := uncertain.NodeID(rng.IntN(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v, pa(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: it starts from
+// a small seed clique and attaches each new vertex to mPer existing
+// vertices chosen proportionally to their current degree. The result has a
+// heavy-tailed degree distribution, matching the social graphs of the
+// paper (Fig. 3b).
+func BarabasiAlbert(n, mPer int, pa ProbAssigner, rng *rand.Rand) (*uncertain.Graph, error) {
+	if mPer < 1 {
+		return nil, fmt.Errorf("gen: mPer must be >= 1, got %d", mPer)
+	}
+	if n <= mPer {
+		return nil, fmt.Errorf("gen: need n > mPer (n=%d, mPer=%d)", n, mPer)
+	}
+	g := uncertain.New(n)
+	// Seed: clique over the first mPer+1 vertices.
+	var targets []uncertain.NodeID // degree-weighted sampling pool
+	for u := 0; u <= mPer; u++ {
+		for v := u + 1; v <= mPer; v++ {
+			if err := g.AddEdge(uncertain.NodeID(u), uncertain.NodeID(v), pa(rng)); err != nil {
+				return nil, err
+			}
+			targets = append(targets, uncertain.NodeID(u), uncertain.NodeID(v))
+		}
+	}
+	for v := mPer + 1; v < n; v++ {
+		seen := make(map[uncertain.NodeID]bool, mPer)
+		chosen := make([]uncertain.NodeID, 0, mPer) // insertion order: deterministic per seed
+		for len(chosen) < mPer {
+			var t uncertain.NodeID
+			if rng.Float64() < 0.05 || len(targets) == 0 {
+				// Small uniform escape keeps the pool from collapsing.
+				t = uncertain.NodeID(rng.IntN(v))
+			} else {
+				t = targets[rng.IntN(len(targets))]
+			}
+			if int(t) == v || seen[t] {
+				continue
+			}
+			seen[t] = true
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			if err := g.AddEdge(uncertain.NodeID(v), t, pa(rng)); err != nil {
+				return nil, err
+			}
+			targets = append(targets, uncertain.NodeID(v), t)
+		}
+	}
+	return g, nil
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// vertex connects to its kHalf nearest neighbors on each side, with each
+// edge rewired to a uniform random endpoint with probability beta.
+// Probabilities are drawn from pa.
+func WattsStrogatz(n, kHalf int, beta float64, pa ProbAssigner, rng *rand.Rand) (*uncertain.Graph, error) {
+	if kHalf < 1 {
+		return nil, fmt.Errorf("gen: kHalf must be >= 1, got %d", kHalf)
+	}
+	if n <= 2*kHalf {
+		return nil, fmt.Errorf("gen: need n > 2*kHalf (n=%d, kHalf=%d)", n, kHalf)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: beta must be in [0,1], got %v", beta)
+	}
+	g := uncertain.New(n)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= kHalf; d++ {
+			v := (u + d) % n
+			if rng.Float64() < beta {
+				// Rewire: keep u, pick a fresh endpoint.
+				for tries := 0; tries < 4*n; tries++ {
+					w := rng.IntN(n)
+					if w != u && !g.HasEdge(uncertain.NodeID(u), uncertain.NodeID(w)) {
+						v = w
+						break
+					}
+				}
+			}
+			if g.HasEdge(uncertain.NodeID(u), uncertain.NodeID(v)) || u == v {
+				continue
+			}
+			if err := g.AddEdge(uncertain.NodeID(u), uncertain.NodeID(v), pa(rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// SBM generates a stochastic block model: vertices are split evenly into
+// blocks; a pair inside a block becomes an edge with probability pin, a
+// cross pair with probability pout. Useful for community-structured
+// workloads (the "two reliable clusters" motif of Figure 5a).
+func SBM(n, blocks int, pin, pout float64, pa ProbAssigner, rng *rand.Rand) (*uncertain.Graph, error) {
+	if blocks < 1 || n < blocks {
+		return nil, fmt.Errorf("gen: bad SBM shape n=%d blocks=%d", n, blocks)
+	}
+	g := uncertain.New(n)
+	block := func(v int) int { return v * blocks / n }
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pout
+			if block(u) == block(v) {
+				p = pin
+			}
+			if rng.Float64() < p {
+				if err := g.AddEdge(uncertain.NodeID(u), uncertain.NodeID(v), pa(rng)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

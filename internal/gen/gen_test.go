@@ -1,0 +1,305 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"chameleon/internal/uncertain"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 99)) }
+
+func TestUniformProbsRange(t *testing.T) {
+	pa := UniformProbs(0.2, 0.6)
+	r := rng(1)
+	for i := 0; i < 1000; i++ {
+		p := pa(r)
+		if p < 0.2 || p > 0.6 {
+			t.Fatalf("p = %v out of [0.2, 0.6]", p)
+		}
+	}
+}
+
+func TestDiscreteProbsOnlyGivenValues(t *testing.T) {
+	values := []float64{0.1, 0.5, 0.9}
+	pa := DiscreteProbs(values, []float64{1, 2, 1})
+	r := rng(2)
+	counts := map[float64]int{}
+	for i := 0; i < 4000; i++ {
+		counts[pa(r)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("drew %d distinct values, want 3", len(counts))
+	}
+	// The middle value has twice the weight.
+	if counts[0.5] < counts[0.1] || counts[0.5] < counts[0.9] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestDiscreteProbsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched values/weights should panic")
+		}
+	}()
+	DiscreteProbs([]float64{0.1}, []float64{1, 2})
+}
+
+func TestSmallProbsProfile(t *testing.T) {
+	pa := SmallProbs(0.29)
+	r := rng(3)
+	var sum float64
+	const n = 20000
+	small := 0
+	for i := 0; i < n; i++ {
+		p := pa(r)
+		if p <= 0 || p > 1 {
+			t.Fatalf("p = %v out of (0,1]", p)
+		}
+		if p < 0.3 {
+			small++
+		}
+		sum += p
+	}
+	mean := sum / n
+	if mean < 0.2 || mean > 0.35 {
+		t.Fatalf("mean %v, want ~0.29 (truncation shifts it slightly)", mean)
+	}
+	if float64(small)/n < 0.5 {
+		t.Fatal("SmallProbs should produce mostly small values")
+	}
+}
+
+func TestErdosRenyiShape(t *testing.T) {
+	g, err := ErdosRenyi(50, 120, UniformProbs(0, 1), rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 || g.NumEdges() != 120 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestErdosRenyiTooManyEdges(t *testing.T) {
+	if _, err := ErdosRenyi(4, 7, UniformProbs(0, 1), rng(5)); err == nil {
+		t.Fatal("7 edges on 4 nodes should fail")
+	}
+	// Exactly the maximum should work.
+	g, err := ErdosRenyi(4, 6, UniformProbs(0, 1), rng(5))
+	if err != nil || g.NumEdges() != 6 {
+		t.Fatalf("complete graph: %v, edges %d", err, g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	const n, m = 300, 3
+	g, err := BarabasiAlbert(n, m, UniformProbs(0, 1), rng(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Seed clique (m+1 choose 2) + m per additional vertex.
+	wantEdges := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	g, err := BarabasiAlbert(500, 2, UniformProbs(0, 1), rng(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(uncertain.NodeID(v))
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sumDeg) / float64(g.NumNodes())
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("max degree %d should dwarf average %.1f in a preferential-attachment graph", maxDeg, avg)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(5, 0, UniformProbs(0, 1), rng(8)); err == nil {
+		t.Fatal("mPer=0 should fail")
+	}
+	if _, err := BarabasiAlbert(3, 3, UniformProbs(0, 1), rng(8)); err == nil {
+		t.Fatal("n <= mPer should fail")
+	}
+}
+
+func TestSBMStructure(t *testing.T) {
+	g, err := SBM(200, 2, 0.2, 0.01, UniformProbs(0, 1), rng(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := 0, 0
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if (int(e.U) < 100) == (int(e.V) < 100) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 3*inter {
+		t.Fatalf("intra %d should dominate inter %d", intra, inter)
+	}
+}
+
+func TestSBMErrors(t *testing.T) {
+	if _, err := SBM(5, 0, 0.1, 0.1, UniformProbs(0, 1), rng(10)); err == nil {
+		t.Fatal("blocks=0 should fail")
+	}
+	if _, err := SBM(2, 5, 0.1, 0.1, UniformProbs(0, 1), rng(10)); err == nil {
+		t.Fatal("n < blocks should fail")
+	}
+}
+
+func TestDatasetsBuild(t *testing.T) {
+	for _, d := range Datasets() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			g, err := d.Build(rng(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumNodes() != d.Nodes {
+				t.Fatalf("nodes = %d, want %d", g.NumNodes(), d.Nodes)
+			}
+			if g.NumEdges() == 0 {
+				t.Fatal("dataset has no edges")
+			}
+			if math.Abs(g.MeanProb()-d.PaperMeanP) > 0.08 {
+				t.Fatalf("mean prob %.3f too far from paper value %.2f", g.MeanProb(), d.PaperMeanP)
+			}
+			if len(d.Ks) != 5 {
+				t.Fatalf("want 5 sweep points, got %d", len(d.Ks))
+			}
+		})
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	d, err := DatasetByName("dblp-s")
+	if err != nil || d.PaperName != "DBLP" {
+		t.Fatalf("DatasetByName(dblp-s) = %+v, %v", d, err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestKScaleMapping(t *testing.T) {
+	d := Dataset{Ks: []int{10, 20, 30, 40, 50}}
+	cases := map[int]int{100: 10, 150: 20, 200: 30, 250: 40, 300: 50, 50: 10, 400: 50}
+	for paperK, want := range cases {
+		if got := d.KScale(paperK); got != want {
+			t.Errorf("KScale(%d) = %d, want %d", paperK, got, want)
+		}
+	}
+}
+
+func TestKScaleFallbackWithoutKs(t *testing.T) {
+	d := Dataset{Nodes: 1000, PaperNodes: 100000}
+	if got := d.KScale(100); got != 2 {
+		t.Fatalf("degenerate ratio should clamp to 2, got %d", got)
+	}
+	d2 := Dataset{Nodes: 50000, PaperNodes: 100000}
+	if got := d2.KScale(100); got != 50 {
+		t.Fatalf("ratio scaling: got %d, want 50", got)
+	}
+}
+
+func TestDatasetBuildDeterministic(t *testing.T) {
+	d := DBLPScaled()
+	g1, err := d.Build(rand.New(rand.NewPCG(42, 99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d.Build(rand.New(rand.NewPCG(42, 99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		t.Fatal("same seed must build the same dataset")
+	}
+}
+
+func TestWattsStrogatzShape(t *testing.T) {
+	g, err := WattsStrogatz(100, 2, 0.1, UniformProbs(0.2, 0.8), rng(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Ring lattice baseline has n*kHalf edges; rewiring may drop a few on
+	// collisions.
+	if g.NumEdges() < 180 || g.NumEdges() > 200 {
+		t.Fatalf("edges = %d, want ~200", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzNoRewiringIsLattice(t *testing.T) {
+	g, err := WattsStrogatz(20, 2, 0, UniformProbs(0, 1), rng(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex connects to its 2 nearest neighbors on each side.
+	for u := 0; u < 20; u++ {
+		for d := 1; d <= 2; d++ {
+			if !g.HasEdge(uncertain.NodeID(u), uncertain.NodeID((u+d)%20)) {
+				t.Fatalf("missing lattice edge (%d,%d)", u, (u+d)%20)
+			}
+		}
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	if _, err := WattsStrogatz(10, 0, 0.1, UniformProbs(0, 1), rng(22)); err == nil {
+		t.Fatal("kHalf=0 should fail")
+	}
+	if _, err := WattsStrogatz(4, 2, 0.1, UniformProbs(0, 1), rng(22)); err == nil {
+		t.Fatal("n <= 2*kHalf should fail")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, UniformProbs(0, 1), rng(22)); err == nil {
+		t.Fatal("beta > 1 should fail")
+	}
+}
+
+func TestWattsStrogatzRewiringShortensDistances(t *testing.T) {
+	// The small-world effect: rewired lattices have much shorter average
+	// distances than pure rings.
+	lattice, err := WattsStrogatz(200, 2, 0, UniformProbs(1, 1), rng(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := WattsStrogatz(200, 2, 0.2, UniformProbs(1, 1), rng(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(g *uncertain.Graph) float64 {
+		w := g.ThresholdWorld(0.5)
+		var total, count float64
+		for _, d := range w.BFSDistances(0) {
+			if d > 0 {
+				total += float64(d)
+				count++
+			}
+		}
+		return total / count
+	}
+	if avg(rewired) >= avg(lattice) {
+		t.Fatalf("rewiring should shorten distances: %v vs %v", avg(rewired), avg(lattice))
+	}
+}

@@ -1,0 +1,150 @@
+// Package hyperanf implements HyperANF (Boldi, Rosa, Vigna [8]): the
+// approximate neighborhood function computed with HyperLogLog counters
+// instead of the classic Flajolet–Martin bitmasks of package anf. Each
+// vertex carries m = 2^b registers holding the maximum hash rank seen;
+// one max-merge round per hop grows the counters over the h-hop
+// neighborhood, and the harmonic-mean estimator with small-range
+// correction recovers the neighborhood sizes.
+//
+// Compared to the FM bitmasks, HLL registers give a better
+// accuracy/memory trade-off at scale; both estimators are provided so the
+// distance metrics can cross-validate them.
+package hyperanf
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"chameleon/internal/anf"
+	"chameleon/internal/uncertain"
+)
+
+// Options configures the estimator.
+type Options struct {
+	// LogRegisters is b: each vertex carries 2^b registers. Default 6
+	// (64 registers, ~6.5% relative error). Valid range 4..16.
+	LogRegisters int
+	// MaxHops caps the propagation rounds. Default 256.
+	MaxHops int
+	// Seed drives the per-vertex hashing.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LogRegisters == 0 {
+		o.LogRegisters = 6
+	}
+	if o.LogRegisters < 4 {
+		o.LogRegisters = 4
+	}
+	if o.LogRegisters > 16 {
+		o.LogRegisters = 16
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 256
+	}
+	return o
+}
+
+// alpha returns the HyperLogLog bias-correction constant for m registers.
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// counter is one vertex's HLL state: m registers of ranks.
+type counter []uint8
+
+// estimate returns the HLL cardinality estimate with the small-range
+// (linear counting) correction.
+func (c counter) estimate(a float64) float64 {
+	m := float64(len(c))
+	var invSum float64
+	zeros := 0
+	for _, r := range c {
+		invSum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := a * m * m / invSum
+	if e <= 2.5*m && zeros > 0 {
+		e = m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// Neighborhood computes the approximate neighborhood function of the
+// world with HyperLogLog counters. The result type is shared with package
+// anf so the distance/diameter derivations apply unchanged.
+func Neighborhood(w *uncertain.World, o Options) anf.Result {
+	o = o.withDefaults()
+	n := w.NumNodes()
+	m := 1 << o.LogRegisters
+	a := alpha(m)
+	rng := rand.New(rand.NewPCG(o.Seed, 0x8f8f8f8f))
+
+	// Initialize each vertex's counter with its own 64-bit hash: the low
+	// b bits pick the register, the remaining bits' leading-zero rank is
+	// stored.
+	counters := make([]counter, n)
+	for v := 0; v < n; v++ {
+		counters[v] = make(counter, m)
+		h := rng.Uint64()
+		j := int(h & uint64(m-1))
+		rest := h >> o.LogRegisters
+		// rest occupies 64-b significant bits (the top b are zero after
+		// the shift); the HLL rank is the leading-zero run within that
+		// window plus one. rest == 0 degenerates to the window size + 1,
+		// which the same formula yields at LeadingZeros64(0) == 64.
+		rank := uint8(bits.LeadingZeros64(rest) - o.LogRegisters + 1)
+		counters[v][j] = rank
+	}
+
+	adj := w.AdjacencyLists()
+	next := make([]counter, n)
+	for v := range next {
+		next[v] = make(counter, m)
+	}
+
+	sum := func(cs []counter) float64 {
+		var total float64
+		for _, c := range cs {
+			total += c.estimate(a)
+		}
+		return total
+	}
+
+	result := anf.Result{N: []float64{sum(counters)}}
+	for h := 1; h <= o.MaxHops; h++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			copy(next[v], counters[v])
+			for _, u := range adj[v] {
+				cu := counters[u]
+				nv := next[v]
+				for j := 0; j < m; j++ {
+					if cu[j] > nv[j] {
+						nv[j] = cu[j]
+						changed = true
+					}
+				}
+			}
+		}
+		counters, next = next, counters
+		result.N = append(result.N, sum(counters))
+		if !changed {
+			break
+		}
+	}
+	return result
+}

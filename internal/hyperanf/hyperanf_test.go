@@ -1,0 +1,148 @@
+package hyperanf
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/anf"
+	"chameleon/internal/uncertain"
+)
+
+func pathWorld(t *testing.T, n int) *uncertain.World {
+	t.Helper()
+	g := uncertain.New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), 1)
+	}
+	return g.MostProbableWorld()
+}
+
+func gridWorld(t *testing.T, side int) *uncertain.World {
+	t.Helper()
+	g := uncertain.New(side * side)
+	id := func(r, c int) uncertain.NodeID { return uncertain.NodeID(r*side + c) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.MustAddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < side {
+				g.MustAddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return g.MostProbableWorld()
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.LogRegisters != 6 || o.MaxHops != 256 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if got := (Options{LogRegisters: 2}).withDefaults().LogRegisters; got != 4 {
+		t.Fatalf("too-small b should clamp to 4, got %d", got)
+	}
+	if got := (Options{LogRegisters: 20}).withDefaults().LogRegisters; got != 16 {
+		t.Fatalf("too-large b should clamp to 16, got %d", got)
+	}
+}
+
+func TestAlphaConstants(t *testing.T) {
+	for _, m := range []int{16, 32, 64, 128, 1024} {
+		a := alpha(m)
+		if a < 0.6 || a > 0.75 {
+			t.Fatalf("alpha(%d) = %v out of plausible range", m, a)
+		}
+	}
+}
+
+func TestCounterEstimateLinearCounting(t *testing.T) {
+	// A fresh (all-zero) counter estimates ~0 via linear counting.
+	c := make(counter, 64)
+	if e := c.estimate(alpha(64)); e != 0 {
+		t.Fatalf("empty counter estimate = %v, want 0", e)
+	}
+}
+
+func TestFinalCountMatchesReachability(t *testing.T) {
+	w := pathWorld(t, 200)
+	r := Neighborhood(w, Options{LogRegisters: 8, Seed: 3})
+	final := r.N[len(r.N)-1]
+	want := 200.0 * 200.0 // connected path: all ordered pairs + self
+	if math.Abs(final-want)/want > 0.15 {
+		t.Fatalf("final neighborhood %v, want ~%v", final, want)
+	}
+}
+
+func TestMatchesExactOnGrid(t *testing.T) {
+	w := gridWorld(t, 8)
+	approx := Neighborhood(w, Options{LogRegisters: 8, Seed: 5})
+	ex := anf.ExactNeighborhood(w)
+	if math.Abs(approx.AverageDistance()-ex.AverageDistance())/ex.AverageDistance() > 0.2 {
+		t.Fatalf("grid avg distance: HyperANF %v, exact %v",
+			approx.AverageDistance(), ex.AverageDistance())
+	}
+	if math.Abs(approx.EffectiveDiameter(0.9)-ex.EffectiveDiameter(0.9)) > 3 {
+		t.Fatalf("grid effective diameter: HyperANF %v, exact %v",
+			approx.EffectiveDiameter(0.9), ex.EffectiveDiameter(0.9))
+	}
+}
+
+func TestAgreesWithFMANF(t *testing.T) {
+	w := gridWorld(t, 10)
+	hll := Neighborhood(w, Options{LogRegisters: 8, Seed: 7})
+	fm := anf.Neighborhood(w, anf.Options{Trials: 64, Seed: 7})
+	if math.Abs(hll.AverageDistance()-fm.AverageDistance())/fm.AverageDistance() > 0.25 {
+		t.Fatalf("estimators disagree: HLL %v vs FM %v",
+			hll.AverageDistance(), fm.AverageDistance())
+	}
+}
+
+func TestMonotoneNondecreasing(t *testing.T) {
+	w := pathWorld(t, 40)
+	r := Neighborhood(w, Options{Seed: 9})
+	for h := 1; h < len(r.N); h++ {
+		if r.N[h] < r.N[h-1]-1e-9 {
+			t.Fatalf("N must be nondecreasing: N[%d]=%v < N[%d]=%v", h, r.N[h], h-1, r.N[h-1])
+		}
+	}
+}
+
+func TestConvergesEarly(t *testing.T) {
+	w := pathWorld(t, 6)
+	r := Neighborhood(w, Options{Seed: 1, MaxHops: 500})
+	if len(r.N) > 10 {
+		t.Fatalf("propagation should stop at convergence, got %d hops", len(r.N))
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	w := pathWorld(t, 30)
+	a := Neighborhood(w, Options{Seed: 11})
+	b := Neighborhood(w, Options{Seed: 11})
+	if len(a.N) != len(b.N) {
+		t.Fatal("hop counts differ")
+	}
+	for i := range a.N {
+		if a.N[i] != b.N[i] {
+			t.Fatal("same seed must give identical estimates")
+		}
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g := uncertain.New(60)
+	for i := 0; i < 29; i++ {
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), 1)
+	}
+	for i := 30; i < 59; i++ {
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), 1)
+	}
+	w := g.MostProbableWorld()
+	r := Neighborhood(w, Options{LogRegisters: 8, Seed: 13})
+	final := r.N[len(r.N)-1]
+	want := 2.0 * 30 * 30 // two components of 30 ordered pairs each
+	if math.Abs(final-want)/want > 0.2 {
+		t.Fatalf("two-component reachability %v, want ~%v", final, want)
+	}
+}

@@ -1,0 +1,241 @@
+package kdeg
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/gen"
+	"chameleon/internal/privacy"
+	"chameleon/internal/repan"
+	"chameleon/internal/uncertain"
+)
+
+func TestAnonymizeSequenceBasics(t *testing.T) {
+	out, err := AnonymizeSequence([]int{5, 3, 3, 2, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsKAnonymousSequence(out, 2) {
+		t.Fatalf("output %v not 2-anonymous", out)
+	}
+	// Degrees only grow.
+	in := []int{5, 3, 3, 2, 1, 1}
+	for i := range in {
+		if out[i] < in[i] {
+			t.Fatalf("degree %d shrank: %v -> %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestAnonymizeSequenceOptimalSmall(t *testing.T) {
+	// {4, 2, 2, 1} with k=2: optimal grouping {4,2}->{4,4} cost 2 and
+	// {2,1}->{2,2} cost 1, total 3; the alternative single group costs
+	// 4*4-9=7.
+	out, err := AnonymizeSequence([]int{4, 2, 2, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := 0
+	in := []int{4, 2, 2, 1}
+	for i := range in {
+		cost += out[i] - in[i]
+	}
+	if cost != 3 {
+		t.Fatalf("DP cost = %d (%v), want optimal 3", cost, out)
+	}
+}
+
+func TestAnonymizeSequenceErrors(t *testing.T) {
+	if _, err := AnonymizeSequence([]int{3, 2}, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := AnonymizeSequence([]int{3, 2}, 5); err == nil {
+		t.Fatal("k > n should error")
+	}
+	if _, err := AnonymizeSequence([]int{1, 2}, 1); err == nil {
+		t.Fatal("unsorted input should error")
+	}
+	out, err := AnonymizeSequence(nil, 1)
+	if err != nil || out != nil {
+		t.Fatalf("empty input: %v, %v", out, err)
+	}
+}
+
+func TestAnonymizeSequenceQuickProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 2 + rng.IntN(40)
+		k := 1 + rng.IntN(n)
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = rng.IntN(20)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(seq)))
+		out, err := AnonymizeSequence(seq, k)
+		if err != nil {
+			return false
+		}
+		if !IsKAnonymousSequence(out, k) {
+			return false
+		}
+		for i := range seq {
+			if out[i] < seq[i] {
+				return false
+			}
+		}
+		// Output stays descending (group maxima of a descending input).
+		for i := 1; i < n; i++ {
+			if out[i] > out[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsKAnonymousSequence(t *testing.T) {
+	if !IsKAnonymousSequence([]int{3, 3, 1, 1}, 2) {
+		t.Fatal("sequence is 2-anonymous")
+	}
+	if IsKAnonymousSequence([]int{3, 3, 1}, 2) {
+		t.Fatal("lone 1 breaks 2-anonymity")
+	}
+	if !IsKAnonymousSequence(nil, 5) {
+		t.Fatal("empty sequence is vacuously anonymous")
+	}
+}
+
+func deterministicGraph(t *testing.T, seed uint64, n, mPer int) *uncertain.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(n, mPer, gen.UniformProbs(1, 1), rand.New(rand.NewPCG(seed, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UniformProbs(1,1) yields p=1 edges.
+	for i := 0; i < g.NumEdges(); i++ {
+		if err := g.SetProb(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAnonymizeGraphIsSupergraph(t *testing.T) {
+	g := deterministicGraph(t, 2, 80, 2)
+	pub, err := Anonymize(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every original edge survives.
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if !pub.HasEdge(e.U, e.V) {
+			t.Fatalf("original edge (%d,%d) dropped", e.U, e.V)
+		}
+	}
+	// The result is k-degree anonymous.
+	degs := make([]int, pub.NumNodes())
+	for v := range degs {
+		degs[v] = pub.Degree(uncertain.NodeID(v))
+	}
+	if !IsKAnonymousSequence(degs, 4) {
+		t.Fatalf("published degrees not 4-anonymous: %v", degs)
+	}
+}
+
+// TestKDegreeImpliesObfuscation ties the two privacy models together: a
+// k-degree-anonymous deterministic graph is (k, 0)-obfuscated under the
+// paper's entropy criterion, because every degree posterior is uniform
+// over at least k vertices.
+func TestKDegreeImpliesObfuscation(t *testing.T) {
+	g := deterministicGraph(t, 3, 60, 2)
+	const k = 3
+	pub, err := Anonymize(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := privacy.CheckObfuscation(pub, privacy.DegreeProperty(pub), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonObfuscated != 0 {
+		t.Fatalf("k-degree anonymity should imply (k,0)-obf, %d vertices failed", rep.NonObfuscated)
+	}
+}
+
+func TestAnonymizeRejectsUncertainInput(t *testing.T) {
+	g := uncertain.New(3)
+	g.MustAddEdge(0, 1, 0.5)
+	if _, err := Anonymize(g, 2); err == nil {
+		t.Fatal("uncertain input should be rejected")
+	}
+}
+
+func TestAnonymizeValidatesK(t *testing.T) {
+	g := deterministicGraph(t, 4, 20, 2)
+	if _, err := Anonymize(g, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Anonymize(g, 99); err == nil {
+		t.Fatal("k > n should error")
+	}
+}
+
+func TestAnonymizeAfterExtraction(t *testing.T) {
+	// The full conventional pipeline on an uncertain graph: extract the
+	// representative, then k-degree anonymize it.
+	g, err := gen.BarabasiAlbert(100, 2, gen.UniformProbs(0.3, 0.9), rand.New(rand.NewPCG(5, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repan.Representative(g)
+	pub, err := Anonymize(rep, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, pub.NumNodes())
+	for v := range degs {
+		degs[v] = pub.Degree(uncertain.NodeID(v))
+	}
+	if !IsKAnonymousSequence(degs, 3) {
+		t.Fatal("pipeline output not 3-degree anonymous")
+	}
+}
+
+func BenchmarkAnonymizeSequence(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	seq := make([]int, 2000)
+	for i := range seq {
+		seq[i] = rng.IntN(100)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnonymizeSequence(seq, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKDegreeAnonymize(b *testing.B) {
+	g, err := gen.BarabasiAlbert(300, 3, gen.UniformProbs(1, 1), rand.New(rand.NewPCG(2, 1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if err := g.SetProb(i, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(g, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

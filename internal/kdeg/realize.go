@@ -1,0 +1,99 @@
+package kdeg
+
+import (
+	"fmt"
+	"sort"
+
+	"chameleon/internal/uncertain"
+)
+
+// Graphical reports whether the degree sequence can be realized by some
+// simple graph, via the Erdős–Gallai characterization: for each prefix k
+// of the descending-sorted sequence,
+//
+//	sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k)
+//
+// and the total degree must be even.
+func Graphical(degrees []int) bool {
+	n := len(degrees)
+	d := append([]int(nil), degrees...)
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	total := 0
+	for _, x := range d {
+		if x < 0 || x > n-1 {
+			return false
+		}
+		total += x
+	}
+	if total%2 != 0 {
+		return false
+	}
+	// Prefix sums for the left side; the right tail is evaluated directly.
+	prefix := 0
+	for k := 1; k <= n; k++ {
+		prefix += d[k-1]
+		rhs := k * (k - 1)
+		for i := k; i < n; i++ {
+			if d[i] < k {
+				rhs += d[i]
+			} else {
+				rhs += k
+			}
+		}
+		if prefix > rhs {
+			return false
+		}
+	}
+	return true
+}
+
+// Realize constructs a simple deterministic graph with exactly the given
+// degree sequence using the Havel–Hakimi algorithm, or errors if the
+// sequence is not graphical. Vertex i of the result has degree
+// degrees[i].
+func Realize(degrees []int) (*uncertain.Graph, error) {
+	if !Graphical(degrees) {
+		return nil, fmt.Errorf("kdeg: sequence is not graphical")
+	}
+	n := len(degrees)
+	g := uncertain.New(n)
+	type node struct{ id, rem int }
+	nodes := make([]node, n)
+	for i, d := range degrees {
+		nodes[i] = node{id: i, rem: d}
+	}
+	for {
+		// Take the vertex with the largest remaining demand.
+		sort.SliceStable(nodes, func(a, b int) bool { return nodes[a].rem > nodes[b].rem })
+		if nodes[0].rem == 0 {
+			break
+		}
+		top := nodes[0]
+		if top.rem > n-1 {
+			return nil, fmt.Errorf("kdeg: demand %d exceeds n-1", top.rem)
+		}
+		nodes[0].rem = 0
+		// Connect it to the next top.rem vertices.
+		connected := 0
+		for i := 1; i < len(nodes) && connected < top.rem; i++ {
+			if nodes[i].rem == 0 {
+				break // sorted: nothing left with demand
+			}
+			if g.HasEdge(uncertain.NodeID(top.id), uncertain.NodeID(nodes[i].id)) {
+				continue
+			}
+			if err := g.AddEdge(uncertain.NodeID(top.id), uncertain.NodeID(nodes[i].id), 1); err != nil {
+				return nil, err
+			}
+			nodes[i].rem--
+			connected++
+		}
+		if connected < top.rem {
+			// Cannot happen for a graphical sequence with Havel-Hakimi,
+			// unless duplicate-edge skipping starved us; fail loudly.
+			return nil, fmt.Errorf("kdeg: realization stalled at vertex %d (%d of %d placed)",
+				top.id, connected, top.rem)
+		}
+	}
+	return g, nil
+}

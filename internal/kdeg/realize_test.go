@@ -1,0 +1,155 @@
+package kdeg
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/uncertain"
+)
+
+func TestGraphicalBasics(t *testing.T) {
+	cases := []struct {
+		seq  []int
+		want bool
+	}{
+		{[]int{}, true},
+		{[]int{0}, true},
+		{[]int{1}, false},             // odd total
+		{[]int{1, 1}, true},           // single edge
+		{[]int{2, 2, 2}, true},        // triangle
+		{[]int{3, 3, 3, 3}, true},     // K4
+		{[]int{3, 1, 1, 1}, true},     // star
+		{[]int{4, 1, 1, 1}, false},    // degree exceeds n-1
+		{[]int{3, 3, 1, 1}, false},    // EG violation at k=2: two hubs need degree-2 partners
+		{[]int{-1, 1}, false},         // negative
+		{[]int{2, 2, 1, 1}, true},     // path
+		{[]int{3, 3, 3, 1, 1}, false}, // odd total (11)
+		{[]int{4, 4, 4, 2, 2}, false}, // EG violation: three full hubs force degree >= 3 everywhere
+		{[]int{4, 4, 2, 2, 2}, true},  // realizable on 5 vertices
+		{[]int{4, 4, 4, 4, 2}, false}, // odd sum
+	}
+	for _, c := range cases {
+		if got := Graphical(c.seq); got != c.want {
+			t.Errorf("Graphical(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestRealizeProducesExactDegrees(t *testing.T) {
+	seqs := [][]int{
+		{2, 2, 2},
+		{3, 1, 1, 1},
+		{3, 3, 2, 2, 2, 2, 1, 1},
+		{5, 5, 4, 3, 3, 2, 2, 2},
+	}
+	for _, seq := range seqs {
+		if !Graphical(seq) {
+			t.Fatalf("test sequence %v should be graphical", seq)
+		}
+		g, err := Realize(seq)
+		if err != nil {
+			t.Fatalf("Realize(%v): %v", seq, err)
+		}
+		for v, want := range seq {
+			if got := g.Degree(uncertain.NodeID(v)); got != want {
+				t.Fatalf("Realize(%v): vertex %d degree %d, want %d", seq, v, got, want)
+			}
+		}
+	}
+}
+
+func TestRealizeRejectsNonGraphical(t *testing.T) {
+	if _, err := Realize([]int{1}); err == nil {
+		t.Fatal("odd sum should be rejected")
+	}
+	if _, err := Realize([]int{4, 1, 1, 1}); err == nil {
+		t.Fatal("over-demand should be rejected")
+	}
+}
+
+func TestGraphicalQuickAgainstRealize(t *testing.T) {
+	// Whenever Graphical says yes, Realize must succeed with the exact
+	// degrees; graph degree sequences are always graphical.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 2 + rng.IntN(20)
+		// Draw a real graph; its sequence must be graphical and realizable.
+		g := uncertain.New(n)
+		for i := 0; i < 2*n; i++ {
+			u := uncertain.NodeID(rng.IntN(n))
+			v := uncertain.NodeID(rng.IntN(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, 1)
+		}
+		seq := make([]int, n)
+		for v := 0; v < n; v++ {
+			seq[v] = g.Degree(uncertain.NodeID(v))
+		}
+		if !Graphical(seq) {
+			return false
+		}
+		h, err := Realize(seq)
+		if err != nil {
+			return false
+		}
+		for v, want := range seq {
+			if h.Degree(uncertain.NodeID(v)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymizedSequencesStayGraphicalOften(t *testing.T) {
+	// The Liu-Terzi target sequence is not always graphical (the original
+	// paper handles this with relaxation); verify Graphical composes with
+	// AnonymizeSequence without crashing and flags the bad ones.
+	rng := rand.New(rand.NewPCG(9, 9))
+	graphical := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		g := deterministicGraphT(rng, 40)
+		seq := make([]int, 40)
+		for v := 0; v < 40; v++ {
+			seq[v] = g.Degree(uncertain.NodeID(v))
+		}
+		// Descending sort.
+		for a := 0; a < len(seq); a++ {
+			for b := a + 1; b < len(seq); b++ {
+				if seq[b] > seq[a] {
+					seq[a], seq[b] = seq[b], seq[a]
+				}
+			}
+		}
+		anon, err := AnonymizeSequence(seq, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Graphical(anon) {
+			graphical++
+		}
+	}
+	if graphical == 0 {
+		t.Fatal("no anonymized sequence was graphical across 30 trials; suspicious")
+	}
+}
+
+func deterministicGraphT(rng *rand.Rand, n int) *uncertain.Graph {
+	g := uncertain.New(n)
+	for i := 0; i < 2*n; i++ {
+		u := uncertain.NodeID(rng.IntN(n))
+		v := uncertain.NodeID(rng.IntN(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, 1)
+	}
+	return g
+}

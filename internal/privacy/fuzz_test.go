@@ -1,0 +1,46 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDegreeDistribution hardens the Poisson-binomial DP: any probability
+// vector (after clamping to [0,1]) must yield a valid distribution.
+func FuzzDegreeDistribution(f *testing.F) {
+	f.Add(0.5, 0.25, 0.75)
+	f.Add(0.0, 1.0, 0.0)
+	f.Add(1e-300, 1.0, 0.999999)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) {
+				return 0
+			}
+			if x < 0 {
+				return 0
+			}
+			if x > 1 {
+				return 1
+			}
+			return x
+		}
+		probs := []float64{clamp(a), clamp(b), clamp(c)}
+		dist := DegreeDistribution(probs)
+		if len(dist) != 4 {
+			t.Fatalf("distribution length %d, want 4", len(dist))
+		}
+		var sum float64
+		for _, p := range dist {
+			if p < -1e-15 || math.IsNaN(p) {
+				t.Fatalf("invalid mass %v in %v", p, dist)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("distribution sums to %v", sum)
+		}
+		if h := DegreeEntropy(dist); h < 0 || h > 2+1e-12 {
+			t.Fatalf("entropy %v out of [0, 2] for 4 outcomes", h)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package privacy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/uncertain"
+)
+
+func randomUncertain(seed uint64, n, m int) *uncertain.Graph {
+	rng := rand.New(rand.NewPCG(seed, 31))
+	g := uncertain.New(n)
+	for i := 0; i < m; i++ {
+		u := uncertain.NodeID(rng.IntN(n))
+		v := uncertain.NodeID(rng.IntN(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, rng.Float64())
+	}
+	return g
+}
+
+// TestLemma5Identity verifies the exact information-theoretic identity of
+// Lemma 5: the anonymity objective decomposes into per-vertex degree
+// entropy, the size term and the degree-value entropy term.
+func TestLemma5Identity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 3 + rng.IntN(15)
+		g := randomUncertain(seed, n, 3*n)
+		objective := AnonymityObjective(g)
+		vertexEntropy, sizeTerm, omegaTerm := DegreeUncertaintyDecomposition(g)
+		return math.Abs(objective-(vertexEntropy+sizeTerm-omegaTerm)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymityObjectiveRegularCertainGraph(t *testing.T) {
+	// Certain cycle: one degree value shared by all n vertices.
+	// s(2) = n, H(Y_2) = log2 n -> objective = n log2 n.
+	const n = 12
+	g := uncertain.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID((i+1)%n), 1)
+	}
+	want := float64(n) * math.Log2(n)
+	if got := AnonymityObjective(g); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("objective = %v, want %v", got, want)
+	}
+}
+
+func TestAnonymityObjectiveStarIsLow(t *testing.T) {
+	// Certain star: hub isolated at its own degree value (contributes 0),
+	// leaves share theirs. Objective = (n-1) log2(n-1).
+	const n = 9
+	g := uncertain.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, uncertain.NodeID(i), 1)
+	}
+	want := float64(n-1) * math.Log2(n-1)
+	if got := AnonymityObjective(g); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("objective = %v, want %v", got, want)
+	}
+}
+
+func TestObjectiveRisesWithUncertainty(t *testing.T) {
+	// Replacing certain edges with p=0.5 edges must not lower the
+	// anonymity objective on a hub-heavy graph: spread degrees blend the
+	// hub with the crowd.
+	g := randomUncertain(5, 30, 60)
+	certain := g.Clone()
+	for i := 0; i < certain.NumEdges(); i++ {
+		if err := certain.SetProb(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fuzzy := g.Clone()
+	for i := 0; i < fuzzy.NumEdges(); i++ {
+		if err := fuzzy.SetProb(i, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if AnonymityObjective(fuzzy) <= AnonymityObjective(certain) {
+		t.Fatalf("max-uncertainty edges should raise the objective: %v vs %v",
+			AnonymityObjective(fuzzy), AnonymityObjective(certain))
+	}
+}
+
+func TestDecompositionEmptyGraph(t *testing.T) {
+	a, b, c := DegreeUncertaintyDecomposition(uncertain.New(0))
+	if a != 0 || b != 0 || c != 0 {
+		t.Fatalf("empty graph decomposition = %v %v %v", a, b, c)
+	}
+}
+
+func TestObjectiveBoundedByPerfectBlending(t *testing.T) {
+	// The objective can never exceed |V| log2 |V| (every vertex perfectly
+	// hidden at every degree value).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 2 + rng.IntN(20)
+		g := randomUncertain(seed+1000, n, 2*n)
+		return AnonymityObjective(g) <= float64(n)*math.Log2(float64(n))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package privacy
+
+import (
+	"math"
+
+	"chameleon/internal/uncertain"
+)
+
+// Commonness computes the theta-commonness (Definition 4) of each value in
+// omega against the whole population: C_theta(w) = sum_u phi_{0,theta}(|w - w_u|),
+// with phi the normal density with standard deviation theta.
+func Commonness(values []float64, theta float64) []float64 {
+	n := len(values)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if theta <= 0 || math.IsNaN(theta) {
+		// Degenerate kernel: commonness is the exact-match count.
+		counts := make(map[float64]float64, n)
+		for _, v := range values {
+			counts[v]++
+		}
+		for i, v := range values {
+			out[i] = counts[v]
+		}
+		return out
+	}
+	norm := 1 / (theta * math.Sqrt(2*math.Pi))
+	inv2t2 := 1 / (2 * theta * theta)
+	for i, w := range values {
+		var c float64
+		for _, x := range values {
+			d := w - x
+			c += norm * math.Exp(-d*d*inv2t2)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Uniqueness returns the theta-uniqueness of each vertex property value:
+// U_theta(w) = 1 / C_theta(w). Higher means the vertex's property value is
+// rarer and the vertex needs more anonymization noise.
+func Uniqueness(values []float64, theta float64) []float64 {
+	c := Commonness(values, theta)
+	out := make([]float64, len(c))
+	for i, ci := range c {
+		if ci > 0 {
+			out[i] = 1 / ci
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// VertexUniqueness computes the uniqueness score of every vertex of g over
+// the expected-degree property with the kernel bandwidth theta = sigma_G,
+// the standard deviation of the property over the graph (the paper's
+// uncertainty-aware choice in Section V-C).
+func VertexUniqueness(g *uncertain.Graph) []float64 {
+	theta := g.DegreeStdDev()
+	if theta <= 0 {
+		theta = 1
+	}
+	return Uniqueness(g.ExpectedDegrees(), theta)
+}

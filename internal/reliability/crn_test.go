@@ -1,0 +1,61 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCommonRandomNumbersReduceVariance documents a deliberate design
+// decision: Discrepancy and SampledPairDiscrepancy sample the SAME worlds
+// (same seed stream) for both graphs, so shared randomness cancels out of
+// the difference |R_uv(g) - R_uv(h)| — the classic common-random-numbers
+// variance reduction. Estimating each graph's reliability independently
+// and differencing afterwards is substantially noisier.
+func TestCommonRandomNumbersReduceVariance(t *testing.T) {
+	g := randomGraph(41, 40, 90)
+	h := g.Clone()
+	for i := 0; i < 20; i++ {
+		if err := h.SetProb(i, h.Edge(i).P/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const reps = 12
+	const samples = 150
+	pairU, pairV := 1, 30
+
+	var crn, indep []float64
+	for r := uint64(0); r < reps; r++ {
+		// CRN: same seed for both graphs (what the package does).
+		sharedG := Estimator{Samples: samples, Seed: r}
+		sharedH := Estimator{Samples: samples, Seed: r}
+		crn = append(crn, sharedG.PairReliability(g, int32(pairU), int32(pairV))-
+			sharedH.PairReliability(h, int32(pairU), int32(pairV)))
+		// Independent streams.
+		indepG := Estimator{Samples: samples, Seed: r}
+		indepH := Estimator{Samples: samples, Seed: r + 10_000}
+		indep = append(indep, indepG.PairReliability(g, int32(pairU), int32(pairV))-
+			indepH.PairReliability(h, int32(pairU), int32(pairV)))
+	}
+
+	variance := func(xs []float64) float64 {
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			d := x - mean
+			ss += d * d
+		}
+		return ss / float64(len(xs))
+	}
+	vCRN, vIndep := variance(crn), variance(indep)
+	if math.IsNaN(vCRN) || math.IsNaN(vIndep) {
+		t.Fatal("variance computation failed")
+	}
+	if vCRN >= vIndep {
+		t.Fatalf("common random numbers should reduce variance: CRN %v vs independent %v", vCRN, vIndep)
+	}
+}

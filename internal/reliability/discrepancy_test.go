@@ -1,0 +1,150 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/exact"
+)
+
+func TestDiscrepancyIdenticalGraphs(t *testing.T) {
+	g := smallGraph()
+	est := Estimator{Samples: 500, Seed: 1}
+	d, err := est.Discrepancy(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("Discrepancy(g, g) = %v, want 0 (same seed samples the same worlds)", d)
+	}
+}
+
+func TestDiscrepancyMatchesExact(t *testing.T) {
+	g := smallGraph()
+	h := g.Clone()
+	if err := h.SetProb(0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetProb(3, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Discrepancy(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := Estimator{Samples: 30000, Seed: 2}
+	got, err := est.Discrepancy(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.25 {
+		t.Fatalf("MC discrepancy %v, exact %v", got, want)
+	}
+}
+
+func TestDiscrepancyNodeMismatch(t *testing.T) {
+	g := smallGraph()
+	h := randomGraph(1, 7, 5)
+	if _, err := (Estimator{Samples: 10}).Discrepancy(g, h); err == nil {
+		t.Fatal("mismatched vertex counts should error")
+	}
+	if _, err := (Estimator{Samples: 10}).SampledPairDiscrepancy(g, h, PairSample{}); err == nil {
+		t.Fatal("mismatched vertex counts should error (sampled)")
+	}
+}
+
+func TestSampledPairDiscrepancyApproximatesFull(t *testing.T) {
+	g := randomGraph(11, 60, 150)
+	h := g.Clone()
+	for i := 0; i < 30; i++ {
+		if err := h.SetProb(i, 1-h.Edge(i).P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := Estimator{Samples: 800, Seed: 5}
+	full, err := est.Discrepancy(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	perPairFull := full / (float64(n) * float64(n-1) / 2)
+	sampled, err := est.SampledPairDiscrepancy(g, h, PairSample{Pairs: 40000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perPairFull == 0 {
+		t.Fatal("expected a nonzero discrepancy in this setup")
+	}
+	if math.Abs(sampled-perPairFull)/perPairFull > 0.15 {
+		t.Fatalf("sampled per-pair %v, full per-pair %v", sampled, perPairFull)
+	}
+}
+
+func TestSampledPairDiscrepancyTinyGraph(t *testing.T) {
+	g := randomGraph(12, 1, 0)
+	h := g.Clone()
+	est := Estimator{Samples: 10, Seed: 1}
+	d, err := est.SampledPairDiscrepancy(g, h, PairSample{Pairs: 10})
+	if err != nil || d != 0 {
+		t.Fatalf("single-node graph: d=%v err=%v", d, err)
+	}
+}
+
+func TestSampledPairsNeverSelfPairs(t *testing.T) {
+	// Implicitly verified by the estimator being finite and stable on a
+	// 2-node graph where the only valid pair is (0,1).
+	g := randomGraph(13, 2, 1)
+	h := g.Clone()
+	if err := h.SetProb(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	est := Estimator{Samples: 4000, Seed: 9}
+	d, err := est.SampledPairDiscrepancy(g, h, PairSample{Pairs: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Edge(0).P // R drops from p to 0 for the only pair
+	if math.Abs(d-want) > 0.05 {
+		t.Fatalf("2-node discrepancy %v, want ~%v", d, want)
+	}
+}
+
+func TestRelativeDiscrepancy(t *testing.T) {
+	g := smallGraph()
+	est := Estimator{Samples: 2000, Seed: 7}
+	rel, err := est.RelativeDiscrepancy(g, g.Clone(), PairSample{Pairs: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != 0 {
+		t.Fatalf("relative discrepancy of identical graphs = %v, want 0", rel)
+	}
+	// Zeroing a bridge must create a positive relative discrepancy.
+	h := g.Clone()
+	if err := h.SetProb(5, 0); err != nil { // edge 4-5, the only route to 5
+		t.Fatal(err)
+	}
+	rel2, err := est.RelativeDiscrepancy(g, h, PairSample{Pairs: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2 <= 0 {
+		t.Fatalf("bridge removal should be visible, got %v", rel2)
+	}
+}
+
+func TestRelativeDiscrepancyEmptyBase(t *testing.T) {
+	// A graph with zero-probability edges has zero base reliability; the
+	// ratio convention returns 0.
+	g := randomGraph(14, 5, 3)
+	for i := 0; i < g.NumEdges(); i++ {
+		if err := g.SetProb(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := Estimator{Samples: 50, Seed: 1}
+	rel, err := est.RelativeDiscrepancy(g, g.Clone(), PairSample{Pairs: 100})
+	if err != nil || rel != 0 {
+		t.Fatalf("rel=%v err=%v, want 0, nil", rel, err)
+	}
+}

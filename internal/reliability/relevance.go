@@ -1,0 +1,156 @@
+package reliability
+
+import (
+	"chameleon/internal/uncertain"
+)
+
+// EdgeRelevance estimates the edge reliability relevance ERR^e for every
+// edge (Definition 5, aggregated form) using the sample-reuse estimator of
+// Algorithm 2: the N sampled worlds are drawn once, each world's
+// connected-pair count cc is computed once, and for every edge the worlds
+// are grouped by the edge's presence bit:
+//
+//	ERR^e  =  E[cc | e present] - E[cc | e absent]
+//	       ~= CC_e / n_e        - CC_ne / n_ne
+//
+// where n_e worlds contain e and n_ne do not. Total cost is
+// O(N * alpha(|V|) * |E|) instead of the naive O(|E| * N * alpha(|V|) * |E|)
+// (Lemma 3 vs Lemma 2).
+//
+// Edges whose presence bit never varies across the samples (probability 0
+// or 1, or extreme probabilities at small N) fall back to explicit
+// conditional sampling for the missing side.
+func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
+	n := e.samples()
+	m := g.NumEdges()
+
+	type sampleResult struct {
+		cc   float64
+		mask []bool
+	}
+	results := make([]sampleResult, n)
+	e.forEachSample(g, func(i int, w *uncertain.World) {
+		results[i] = sampleResult{
+			cc:   float64(w.ConnectedPairs()),
+			mask: append([]bool(nil), w.PresenceMask()...),
+		}
+	})
+
+	ccPresent := make([]float64, m)
+	ccAbsent := make([]float64, m)
+	nPresent := make([]int, m)
+	for _, r := range results {
+		for i := 0; i < m; i++ {
+			if r.mask[i] {
+				ccPresent[i] += r.cc
+				nPresent[i]++
+			} else {
+				ccAbsent[i] += r.cc
+			}
+		}
+	}
+
+	err := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var meanE, meanNE float64
+		switch {
+		case nPresent[i] == 0:
+			meanNE = ccAbsent[i] / float64(n)
+			meanE = e.conditionalCC(g, i, true)
+		case nPresent[i] == n:
+			meanE = ccPresent[i] / float64(n)
+			meanNE = e.conditionalCC(g, i, false)
+		default:
+			meanE = ccPresent[i] / float64(nPresent[i])
+			meanNE = ccAbsent[i] / float64(n-nPresent[i])
+		}
+		v := meanE - meanNE
+		if v < 0 {
+			// The true ERR is non-negative (connectivity in G_e dominates
+			// G_ne); clamp sampling noise.
+			v = 0
+		}
+		err[i] = v
+	}
+	return err
+}
+
+// conditionalCC estimates E[cc] with edge i forced to the given presence,
+// using a reduced sample budget (this path only triggers for edges with
+// probability 0 or 1).
+func (e Estimator) conditionalCC(g *uncertain.Graph, edge int, present bool) float64 {
+	n := e.samples() / 4
+	if n < 32 {
+		n = 32
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		rng := e.rngFor(1_000_000 + i)
+		w := g.SampleWorld(rng)
+		mask := append([]bool(nil), w.PresenceMask()...)
+		mask[edge] = present
+		total += float64(g.WorldFromMask(mask).ConnectedPairs())
+	}
+	return total / float64(n)
+}
+
+// EdgeRelevanceNaive is the baseline ERR estimator of Lemma 2: for every
+// edge it runs an independent conditional Monte Carlo estimation with the
+// edge forced present and forced absent. It exists for the cost-comparison
+// ablation bench; EdgeRelevance gives the same estimates at 1/|E| of the
+// cost.
+func (e Estimator) EdgeRelevanceNaive(g *uncertain.Graph) []float64 {
+	m := g.NumEdges()
+	n := e.samples()
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var ccE, ccNE float64
+		for s := 0; s < n; s++ {
+			rng := e.rngFor(i*n + s)
+			w := g.SampleWorld(rng)
+			mask := append([]bool(nil), w.PresenceMask()...)
+			mask[i] = true
+			ccE += float64(g.WorldFromMask(mask).ConnectedPairs())
+			mask[i] = false
+			ccNE += float64(g.WorldFromMask(mask).ConnectedPairs())
+		}
+		v := (ccE - ccNE) / float64(n)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// VertexRelevance aggregates edge relevance to the vertex level:
+// VRR^u = sum over edges e incident to u of p(e) * ERR^e.
+func VertexRelevance(g *uncertain.Graph, edgeRelevance []float64) []float64 {
+	out := make([]float64, g.NumNodes())
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		w := e.P * edgeRelevance[i]
+		out[e.U] += w
+		out[e.V] += w
+	}
+	return out
+}
+
+// NormalizeToUnit rescales xs into [0,1] by dividing by the maximum.
+// An all-zero input is returned unchanged.
+func NormalizeToUnit(xs []float64) []float64 {
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	out := make([]float64, len(xs))
+	if max == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / max
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package reliability
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"chameleon/internal/exact"
+	"chameleon/internal/uncertain"
+)
+
+// smallGraph builds a fixed 6-node test graph with mixed probabilities.
+func smallGraph() *uncertain.Graph {
+	g := uncertain.New(6)
+	g.MustAddEdge(0, 1, 0.9)
+	g.MustAddEdge(1, 2, 0.5)
+	g.MustAddEdge(2, 3, 0.7)
+	g.MustAddEdge(3, 4, 0.2)
+	g.MustAddEdge(0, 2, 0.3)
+	g.MustAddEdge(4, 5, 0.8)
+	return g
+}
+
+func randomGraph(seed uint64, n, m int) *uncertain.Graph {
+	rng := rand.New(rand.NewPCG(seed, 77))
+	g := uncertain.New(n)
+	for g.NumEdges() < m {
+		u := uncertain.NodeID(rng.IntN(n))
+		v := uncertain.NodeID(rng.IntN(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, rng.Float64())
+	}
+	return g
+}
+
+func TestEstimatorDefaults(t *testing.T) {
+	var e Estimator
+	if e.samples() != DefaultSamples {
+		t.Fatalf("default samples = %d, want %d", e.samples(), DefaultSamples)
+	}
+	if e.workers() < 1 {
+		t.Fatal("workers must be at least 1")
+	}
+}
+
+func TestExpectedConnectedPairsMatchesExact(t *testing.T) {
+	g := smallGraph()
+	want, err := exact.ExpectedConnectedPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := Estimator{Samples: 20000, Seed: 1}
+	got := est.ExpectedConnectedPairs(g)
+	if math.Abs(got-want) > 0.15 {
+		t.Fatalf("MC E[cc] = %v, exact = %v", got, want)
+	}
+}
+
+func TestPairReliabilityMatchesExact(t *testing.T) {
+	g := smallGraph()
+	est := Estimator{Samples: 20000, Seed: 2}
+	for _, pair := range [][2]uncertain.NodeID{{0, 1}, {0, 3}, {0, 5}, {2, 4}} {
+		want, err := exact.PairReliability(g, pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := est.PairReliability(g, pair[0], pair[1])
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("R(%d,%d): MC %v, exact %v", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestEstimatorDeterministicAcrossWorkers(t *testing.T) {
+	g := randomGraph(5, 40, 100)
+	serial := Estimator{Samples: 200, Seed: 9, Workers: 1}
+	parallel := Estimator{Samples: 200, Seed: 9, Workers: 8}
+	if a, b := serial.ExpectedConnectedPairs(g), parallel.ExpectedConnectedPairs(g); a != b {
+		t.Fatalf("serial %v != parallel %v — estimates must not depend on worker count", a, b)
+	}
+	la := serial.SampleLabels(g)
+	lb := parallel.SampleLabels(g)
+	for i := range la {
+		for v := range la[i] {
+			if la[i][v] != lb[i][v] {
+				t.Fatal("sampled worlds must not depend on worker count")
+			}
+		}
+	}
+}
+
+func TestEstimatorDeterministicPerSeed(t *testing.T) {
+	g := randomGraph(6, 30, 60)
+	e := Estimator{Samples: 100, Seed: 4}
+	if a, b := e.ExpectedConnectedPairs(g), e.ExpectedConnectedPairs(g); a != b {
+		t.Fatal("same seed must give the same estimate")
+	}
+	e2 := Estimator{Samples: 100, Seed: 5}
+	if a, b := e.ExpectedConnectedPairs(g), e2.ExpectedConnectedPairs(g); a == b {
+		t.Log("different seeds coincided (possible but unlikely); not failing")
+	}
+}
+
+func TestReliabilityVector(t *testing.T) {
+	g := smallGraph()
+	est := Estimator{Samples: 10000, Seed: 3}
+	vec := est.ReliabilityVector(g, 0)
+	if vec[0] != 1 {
+		t.Fatalf("self reliability = %v, want 1", vec[0])
+	}
+	for v := 1; v < 6; v++ {
+		want, err := exact.PairReliability(g, 0, uncertain.NodeID(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(vec[v]-want) > 0.03 {
+			t.Fatalf("vec[%d] = %v, exact %v", v, vec[v], want)
+		}
+	}
+}
+
+func TestSampleLabelsShape(t *testing.T) {
+	g := smallGraph()
+	est := Estimator{Samples: 7, Seed: 1}
+	labels := est.SampleLabels(g)
+	if len(labels) != 7 {
+		t.Fatalf("got %d label vectors, want 7", len(labels))
+	}
+	for _, l := range labels {
+		if len(l) != g.NumNodes() {
+			t.Fatalf("label vector length %d, want %d", len(l), g.NumNodes())
+		}
+	}
+}
+
+func TestMCConvergence(t *testing.T) {
+	// The MC error must shrink with the sample count (compare 100 vs
+	// 10000 samples against the exact value).
+	g := smallGraph()
+	want, err := exact.ExpectedConnectedPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errSmall, errBig float64
+	for trial := 0; trial < 5; trial++ {
+		small := Estimator{Samples: 50, Seed: uint64(trial)}
+		big := Estimator{Samples: 8000, Seed: uint64(trial)}
+		errSmall += math.Abs(small.ExpectedConnectedPairs(g) - want)
+		errBig += math.Abs(big.ExpectedConnectedPairs(g) - want)
+	}
+	if errBig >= errSmall {
+		t.Fatalf("larger sample budget should be more accurate: err(50)=%v err(8000)=%v", errSmall, errBig)
+	}
+}

@@ -1,0 +1,155 @@
+package repan
+
+import (
+	"math"
+
+	"chameleon/internal/centrality"
+	"chameleon/internal/uncertain"
+)
+
+// ABMOptions configures the betweenness-targeting extraction.
+type ABMOptions struct {
+	// Samples is the Monte Carlo budget for the expected-betweenness
+	// target (default 30).
+	Samples int
+	// Seed drives the estimation.
+	Seed uint64
+	// Passes bounds the greedy refinement rounds (default 4).
+	Passes int
+	// BatchFraction is the share of edges flipped per round (default 5%).
+	BatchFraction float64
+	// Workers caps sampling parallelism.
+	Workers int
+}
+
+func (o ABMOptions) withDefaults() ABMOptions {
+	if o.Samples <= 0 {
+		o.Samples = 30
+	}
+	if o.Passes <= 0 {
+		o.Passes = 4
+	}
+	if o.BatchFraction <= 0 || o.BatchFraction > 1 {
+		o.BatchFraction = 0.05
+	}
+	return o
+}
+
+// RepresentativeABM extracts a deterministic representative targeting the
+// expected BETWEENNESS profile instead of the expected degrees — the ABM
+// variant of the representative-extraction line of work [29]. Starting
+// from the most-probable world it repeatedly flips small batches of edges
+// whose endpoints over- or under-broker shortest paths relative to the
+// uncertain graph's expectation, keeping a batch only if it reduces the
+// total betweenness deficit.
+func RepresentativeABM(g *uncertain.Graph, o ABMOptions) *uncertain.Graph {
+	o = o.withDefaults()
+	n := g.NumNodes()
+	m := g.NumEdges()
+
+	target := centrality.Expected(g, centrality.Options{
+		Samples: o.Samples, Seed: o.Seed, Workers: o.Workers,
+	})
+
+	present := make([]bool, m)
+	for i := 0; i < m; i++ {
+		if g.Edge(i).P >= 0.5 {
+			present[i] = true
+		}
+	}
+
+	objective := func(mask []bool) (float64, []float64) {
+		bc := centrality.Betweenness(g.WorldFromMask(mask))
+		var total float64
+		deficit := make([]float64, n)
+		for v := 0; v < n; v++ {
+			deficit[v] = bc[v] - target[v]
+			total += math.Abs(deficit[v])
+		}
+		return total, deficit
+	}
+
+	best, deficit := objective(present)
+	batch := int(o.BatchFraction * float64(m))
+	if batch < 1 {
+		batch = 1
+	}
+	for pass := 0; pass < o.Passes; pass++ {
+		// Score every edge: positive means flipping should shed
+		// over-brokered mass (remove a present edge between surplus
+		// endpoints, or add an absent edge between deficit endpoints).
+		type scored struct {
+			idx   int
+			score float64
+		}
+		var candidates []scored
+		for i := 0; i < m; i++ {
+			e := g.Edge(i)
+			s := deficit[e.U] + deficit[e.V]
+			if present[i] && s > 0 {
+				candidates = append(candidates, scored{i, s})
+			} else if !present[i] && s < 0 {
+				candidates = append(candidates, scored{i, -s})
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Partial selection of the top batch.
+		limit := batch
+		if limit > len(candidates) {
+			limit = len(candidates)
+		}
+		for i := 0; i < limit; i++ {
+			top := i
+			for j := i + 1; j < len(candidates); j++ {
+				if candidates[j].score > candidates[top].score {
+					top = j
+				}
+			}
+			candidates[i], candidates[top] = candidates[top], candidates[i]
+		}
+
+		trial := append([]bool(nil), present...)
+		for _, c := range candidates[:limit] {
+			trial[c.idx] = !trial[c.idx]
+		}
+		total, newDeficit := objective(trial)
+		if total < best {
+			best = total
+			present = trial
+			deficit = newDeficit
+			continue
+		}
+		// The batch overshot: halve and retry on the next pass.
+		batch /= 2
+		if batch < 1 {
+			break
+		}
+	}
+
+	rep := uncertain.New(n)
+	for i := 0; i < m; i++ {
+		if present[i] {
+			e := g.Edge(i)
+			rep.MustAddEdge(e.U, e.V, 1)
+		}
+	}
+	return rep
+}
+
+// BetweennessDiscrepancy returns sum_v |bc_rep(v) - E[bc_g(v)]|, the
+// objective RepresentativeABM minimizes, for any deterministic
+// representative of g.
+func BetweennessDiscrepancy(g, rep *uncertain.Graph, o ABMOptions) float64 {
+	o = o.withDefaults()
+	target := centrality.Expected(g, centrality.Options{
+		Samples: o.Samples, Seed: o.Seed, Workers: o.Workers,
+	})
+	bc := centrality.Betweenness(rep.ThresholdWorld(0.5))
+	var total float64
+	for v := range target {
+		total += math.Abs(bc[v] - target[v])
+	}
+	return total
+}

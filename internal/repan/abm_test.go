@@ -1,0 +1,68 @@
+package repan
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"chameleon/internal/gen"
+	"chameleon/internal/uncertain"
+)
+
+func TestRepresentativeABMValid(t *testing.T) {
+	g := testGraph(t, 30)
+	rep := RepresentativeABM(g, ABMOptions{Samples: 10, Seed: 1})
+	if rep.NumNodes() != g.NumNodes() {
+		t.Fatal("vertex set changed")
+	}
+	for i := 0; i < rep.NumEdges(); i++ {
+		e := rep.Edge(i)
+		if e.P != 1 {
+			t.Fatalf("edge %d has p=%v, want 1", i, e.P)
+		}
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("invented edge (%d,%d)", e.U, e.V)
+		}
+	}
+}
+
+func TestRepresentativeABMImprovesBetweennessFit(t *testing.T) {
+	// On a low-probability graph the most-probable world drops most
+	// edges and its betweenness profile collapses; the ABM refinement
+	// must strictly improve the fit.
+	g, err := gen.BarabasiAlbert(120, 3, gen.SmallProbs(0.35), rand.New(rand.NewPCG(31, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ABMOptions{Samples: 15, Seed: 3}
+	mp := uncertain.New(g.NumNodes())
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if e.P >= 0.5 {
+			mp.MustAddEdge(e.U, e.V, 1)
+		}
+	}
+	abm := RepresentativeABM(g, opts)
+	if BetweennessDiscrepancy(g, abm, opts) > BetweennessDiscrepancy(g, mp, opts) {
+		t.Fatalf("ABM should not worsen the betweenness fit: abm %v vs mp %v",
+			BetweennessDiscrepancy(g, abm, opts), BetweennessDiscrepancy(g, mp, opts))
+	}
+}
+
+func TestRepresentativeABMDeterministic(t *testing.T) {
+	g := testGraph(t, 32)
+	opts := ABMOptions{Samples: 10, Seed: 7}
+	if !RepresentativeABM(g, opts).Equal(RepresentativeABM(g, opts)) {
+		t.Fatal("ABM extraction must be deterministic per seed")
+	}
+}
+
+func TestABMOptionsDefaults(t *testing.T) {
+	o := ABMOptions{}.withDefaults()
+	if o.Samples != 30 || o.Passes != 4 || o.BatchFraction != 0.05 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := ABMOptions{BatchFraction: 2}.withDefaults()
+	if o2.BatchFraction != 0.05 {
+		t.Fatalf("out-of-range batch fraction should reset, got %v", o2.BatchFraction)
+	}
+}

@@ -1,0 +1,134 @@
+package truncnorm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if got := Sample(rng, 0); got != 0 {
+		t.Fatalf("Sample(sigma=0) = %v, want 0", got)
+	}
+	if got := Sample(rng, -1); got != 0 {
+		t.Fatalf("Sample(sigma<0) = %v, want 0", got)
+	}
+	if got := Sample(rng, math.NaN()); got != 0 {
+		t.Fatalf("Sample(NaN) = %v, want 0", got)
+	}
+}
+
+func TestSampleInRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	for _, sigma := range []float64{0.01, 0.1, 0.5, 1, 2, 10, 1000} {
+		for i := 0; i < 2000; i++ {
+			x := Sample(rng, sigma)
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("Sample(sigma=%v) = %v out of [0,1]", sigma, x)
+			}
+		}
+	}
+}
+
+func TestSampleMeanMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 7))
+	for _, sigma := range []float64{0.05, 0.2, 0.5, 1, 3} {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += Sample(rng, sigma)
+		}
+		got := sum / n
+		want := Mean(sigma)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("sigma=%v: empirical mean %.4f, analytic %.4f", sigma, got, want)
+		}
+	}
+}
+
+func TestLargeSigmaApproachesUniform(t *testing.T) {
+	// As sigma -> inf the truncated half-normal flattens to U[0,1].
+	if m := Mean(1e6); math.Abs(m-0.5) > 1e-3 {
+		t.Fatalf("Mean(1e6) = %v, want ~0.5", m)
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += Sample(rng, 1e6)
+	}
+	if got := sum / n; math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("empirical mean at huge sigma = %v, want ~0.5", got)
+	}
+}
+
+func TestSmallSigmaConcentratesNearZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	const sigma = 0.02
+	small := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if Sample(rng, sigma) < 3*sigma {
+			small++
+		}
+	}
+	// P(|N(0,sigma^2)| < 3 sigma) ~ 0.997.
+	if frac := float64(small) / n; frac < 0.98 {
+		t.Fatalf("only %.3f of draws within 3 sigma, want >= 0.98", frac)
+	}
+}
+
+func TestInverseCDFMonotone(t *testing.T) {
+	for _, sigma := range []float64{0.3, 1, 5} {
+		prev := -1.0
+		for u := 0.0; u <= 1.0; u += 0.05 {
+			x := inverseCDF(u, sigma)
+			if x < prev {
+				t.Fatalf("inverseCDF not monotone at u=%v sigma=%v: %v < %v", u, sigma, x, prev)
+			}
+			if x < 0 || x > 1 {
+				t.Fatalf("inverseCDF(%v, %v) = %v out of range", u, sigma, x)
+			}
+			prev = x
+		}
+	}
+}
+
+func TestMeanMonotoneInSigma(t *testing.T) {
+	prev := 0.0
+	for _, sigma := range []float64{0.01, 0.1, 0.3, 1, 3, 10} {
+		m := Mean(sigma)
+		if m <= prev {
+			t.Fatalf("Mean(%v) = %v not greater than previous %v", sigma, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestQuickSampleAlwaysValid(t *testing.T) {
+	f := func(seed uint64, raw float64) bool {
+		sigma := math.Abs(raw)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		x := Sample(rng, sigma)
+		return x >= 0 && x <= 1 && !math.IsNaN(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.Run("sigma=0.1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Sample(rng, 0.1)
+		}
+	})
+	b.Run("sigma=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Sample(rng, 5)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package uncertain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV hardens the parser: arbitrary input must either fail with
+// an error or produce a graph that survives a write/read round trip.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("3\n0 1 0.5\n1 2 0.25\n")
+	f.Add("# comment\n\n2\n0\t1\t1\n")
+	f.Add("0\n")
+	f.Add("abc\n")
+	f.Add("3\n0 1 0.5\n0 1 0.5\n")
+	f.Add("5\n0 1 1e-3\n")
+	f.Add("2\n0 1 NaN\n")
+	f.Add("2\n0 1 +Inf\n")
+	f.Add("9999999999999\n")
+	f.Add("3\n-1 1 0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// A successfully parsed graph must be internally consistent and
+		// round-trippable.
+		if g.NumNodes() < 0 || g.NumEdges() < 0 {
+			t.Fatalf("negative sizes: %v", g)
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(i)
+			if e.U >= e.V || e.P < 0 || e.P > 1 {
+				t.Fatalf("invalid edge %+v", e)
+			}
+			if int(e.V) >= g.NumNodes() {
+				t.Fatalf("edge %+v beyond node count %d", e, g.NumNodes())
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		h, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read after write: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

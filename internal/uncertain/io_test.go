@@ -1,0 +1,155 @@
+package uncertain
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := mustGraph(t, 4, Edge{0, 1, 0.5}, Edge{2, 3, 0.125}, Edge{0, 3, 1})
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestReadTSVCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n3\n# another\n0 1 0.5\n\n1\t2\t0.25\n"
+	g, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"only comments", "# nothing\n"},
+		{"bad count", "abc\n"},
+		{"negative count", "-3\n"},
+		{"count with extra fields", "3 4\n"},
+		{"edge with two fields", "3\n0 1\n"},
+		{"edge with four fields", "3\n0 1 0.5 9\n"},
+		{"bad node", "3\nx 1 0.5\n"},
+		{"bad second node", "3\n0 y 0.5\n"},
+		{"bad prob", "3\n0 1 maybe\n"},
+		{"prob out of range", "3\n0 1 1.5\n"},
+		{"node out of range", "3\n0 7 0.5\n"},
+		{"duplicate edge", "3\n0 1 0.5\n1 0 0.2\n"},
+		{"self loop", "3\n1 1 0.5\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadTSV(strings.NewReader(tt.in)); err == nil {
+				t.Fatalf("ReadTSV(%q) should fail", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadTSVErrorMentionsLine(t *testing.T) {
+	_, err := ReadTSV(strings.NewReader("3\n0 1 0.5\nbroken line here\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should name the offending line, got %v", err)
+	}
+}
+
+func TestBadFormatIsErrBadFormat(t *testing.T) {
+	_, err := ReadTSV(strings.NewReader("nope\n"))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := mustGraph(t, 3, Edge{0, 1, 0.75})
+	path := filepath.Join(t.TempDir(), "g.tsv")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("file round trip changed the graph")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Fatal("loading a missing file should fail")
+	}
+}
+
+func TestWriteTSVDeterministic(t *testing.T) {
+	g := mustGraph(t, 4, Edge{2, 3, 0.1}, Edge{0, 1, 0.2})
+	var a, b bytes.Buffer
+	if err := WriteTSV(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTSV(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteTSV should be deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "4\n0\t1\t0.2\n") {
+		t.Fatalf("unexpected output:\n%s", a.String())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 2 + rng.IntN(30)
+		g := New(n)
+		m := rng.IntN(2 * n)
+		for i := 0; i < m; i++ {
+			u := NodeID(rng.IntN(n))
+			v := NodeID(rng.IntN(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v, rng.Float64()); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g); err != nil {
+			return false
+		}
+		h, err := ReadTSV(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(h) && h.Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTSVNodeCap(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("99999999999999\n")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("absurd node count should be rejected, got %v", err)
+	}
+}

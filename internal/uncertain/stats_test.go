@@ -1,0 +1,110 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanProb(t *testing.T) {
+	if got := New(3).MeanProb(); got != 0 {
+		t.Fatalf("MeanProb of edgeless graph = %v, want 0", got)
+	}
+	g := mustGraph(t, 3, Edge{0, 1, 0.2}, Edge{1, 2, 0.8})
+	if got := g.MeanProb(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MeanProb = %v, want 0.5", got)
+	}
+}
+
+func TestExpectedCounts(t *testing.T) {
+	g := mustGraph(t, 4, Edge{0, 1, 0.5}, Edge{1, 2, 0.25}, Edge{2, 3, 1})
+	if got := g.ExpectedNumEdges(); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("ExpectedNumEdges = %v, want 1.75", got)
+	}
+	if got := g.ExpectedAvgDegree(); math.Abs(got-2*1.75/4) > 1e-12 {
+		t.Fatalf("ExpectedAvgDegree = %v, want %v", got, 2*1.75/4)
+	}
+	if got := New(0).ExpectedAvgDegree(); got != 0 {
+		t.Fatalf("ExpectedAvgDegree on empty graph = %v", got)
+	}
+}
+
+func TestExpectedDegreesVector(t *testing.T) {
+	g := mustGraph(t, 3, Edge{0, 1, 0.5}, Edge{0, 2, 0.25})
+	degs := g.ExpectedDegrees()
+	want := []float64{0.75, 0.5, 0.25}
+	for i := range want {
+		if math.Abs(degs[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpectedDegrees[%d] = %v, want %v", i, degs[i], want[i])
+		}
+	}
+	// Must agree with the per-vertex method.
+	for v := 0; v < 3; v++ {
+		if math.Abs(degs[v]-g.ExpectedDegree(NodeID(v))) > 1e-12 {
+			t.Fatalf("vector and per-vertex expected degree disagree at %d", v)
+		}
+	}
+}
+
+func TestDegreeStdDev(t *testing.T) {
+	// Star with certain edges: degrees 3,1,1,1 -> mean 1.5,
+	// variance (2.25+0.25*3)/4 = 0.75.
+	g := mustGraph(t, 4, Edge{0, 1, 1}, Edge{0, 2, 1}, Edge{0, 3, 1})
+	want := math.Sqrt(0.75)
+	if got := g.DegreeStdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DegreeStdDev = %v, want %v", got, want)
+	}
+	if got := New(0).DegreeStdDev(); got != 0 {
+		t.Fatalf("DegreeStdDev on empty graph = %v", got)
+	}
+	// Regular graph: zero spread.
+	cyc := mustGraph(t, 3, Edge{0, 1, 1}, Edge{1, 2, 1}, Edge{0, 2, 1})
+	if got := cyc.DegreeStdDev(); got > 1e-12 {
+		t.Fatalf("DegreeStdDev of regular graph = %v, want 0", got)
+	}
+}
+
+func TestMaxStructuralDegree(t *testing.T) {
+	g := mustGraph(t, 5, Edge{0, 1, 0.1}, Edge{0, 2, 0.1}, Edge{0, 3, 0.1}, Edge{3, 4, 0.9})
+	if got := g.MaxStructuralDegree(); got != 3 {
+		t.Fatalf("MaxStructuralDegree = %d, want 3", got)
+	}
+	if got := New(2).MaxStructuralDegree(); got != 0 {
+		t.Fatalf("MaxStructuralDegree of edgeless = %d, want 0", got)
+	}
+}
+
+func TestProbHistogram(t *testing.T) {
+	g := mustGraph(t, 5,
+		Edge{0, 1, 0.05}, Edge{0, 2, 0.15}, Edge{0, 3, 0.95}, Edge{1, 2, 1})
+	h := g.ProbHistogram(10)
+	if h[0] != 1 || h[1] != 1 || h[9] != 2 {
+		t.Fatalf("ProbHistogram = %v", h)
+	}
+	var total int
+	for _, c := range h {
+		total += c
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("histogram total %d != edges %d", total, g.NumEdges())
+	}
+	// Default bin count on nonpositive input.
+	if got := len(g.ProbHistogram(0)); got != 10 {
+		t.Fatalf("default bins = %d, want 10", got)
+	}
+}
+
+func TestStructuralDegreeHistogram(t *testing.T) {
+	g := mustGraph(t, 4, Edge{0, 1, 1}, Edge{0, 2, 1}, Edge{0, 3, 1})
+	h := g.StructuralDegreeHistogram()
+	// Degrees: 3,1,1,1.
+	if h[1] != 3 || h[3] != 1 {
+		t.Fatalf("StructuralDegreeHistogram = %v", h)
+	}
+	var total int
+	for _, c := range h {
+		total += c
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("histogram total %d != nodes %d", total, g.NumNodes())
+	}
+}

@@ -1,0 +1,93 @@
+package uncertain
+
+import "fmt"
+
+// FromEdges builds a graph over n vertices from an edge list; a
+// convenience constructor for literals and loaders.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V, e.P); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// relabeled densely 0..len(nodes)-1 in the given order, plus the mapping
+// from new ids back to the original ids. Duplicate or out-of-range
+// vertices are rejected.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, []NodeID, error) {
+	newID := make(map[NodeID]NodeID, len(nodes))
+	back := make([]NodeID, len(nodes))
+	for i, v := range nodes {
+		if v < 0 || int(v) >= g.n {
+			return nil, nil, fmt.Errorf("%w: %d", ErrNodeOutOfRange, v)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("uncertain: duplicate vertex %d in induced set", v)
+		}
+		newID[v] = NodeID(i)
+		back[i] = v
+	}
+	sub := New(len(nodes))
+	for _, e := range g.edges {
+		u, okU := newID[e.U]
+		v, okV := newID[e.V]
+		if okU && okV {
+			if err := sub.AddEdge(u, v, e.P); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return sub, back, nil
+}
+
+// ThresholdWorld returns the deterministic world containing exactly the
+// edges with probability >= tau. ThresholdWorld(0.5) is the most probable
+// world; ThresholdWorld(~0) approaches the support graph.
+func (g *Graph) ThresholdWorld(tau float64) *World {
+	w := &World{g: g, present: make([]bool, len(g.edges))}
+	for i, e := range g.edges {
+		if e.P >= tau {
+			w.present[i] = true
+			w.m++
+		}
+	}
+	return w
+}
+
+// SupportComponents returns the connected components of the support graph
+// (every edge with p > 0 counted as present), largest first. Useful for
+// understanding what reliability can ever connect.
+func (g *Graph) SupportComponents() [][]NodeID {
+	w := &World{g: g, present: make([]bool, len(g.edges))}
+	for i, e := range g.edges {
+		if e.P > 0 {
+			w.present[i] = true
+			w.m++
+		}
+	}
+	labels := w.ComponentLabels()
+	groups := make(map[int32][]NodeID)
+	for v, l := range labels {
+		groups[l] = append(groups[l], NodeID(v))
+	}
+	out := make([][]NodeID, 0, len(groups))
+	for _, members := range groups {
+		out = append(out, members)
+	}
+	// Largest first; tie-break on smallest member for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if len(b) > len(a) || (len(b) == len(a) && b[0] < a[0]) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

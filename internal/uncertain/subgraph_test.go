@@ -1,0 +1,120 @@
+package uncertain
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 0.5}, {1, 2, 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.NumNodes() != 3 {
+		t.Fatalf("shape: %v", g)
+	}
+	if _, err := FromEdges(2, []Edge{{0, 5, 0.5}}); err == nil {
+		t.Fatal("invalid edge should propagate")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := mustGraph(t, 5,
+		Edge{0, 1, 0.5}, Edge{1, 2, 0.25}, Edge{2, 3, 0.75}, Edge{3, 4, 0.1}, Edge{0, 4, 0.9})
+	sub, back, err := g.InducedSubgraph([]NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", sub.NumNodes())
+	}
+	// Edges inside {1,2,3}: (1,2) and (2,3) -> relabeled (0,1), (1,2).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", sub.NumEdges())
+	}
+	if p, _ := sub.Prob(0, 1); p != 0.25 {
+		t.Fatalf("sub prob(0,1) = %v, want 0.25", p)
+	}
+	if p, _ := sub.Prob(1, 2); p != 0.75 {
+		t.Fatalf("sub prob(1,2) = %v, want 0.75", p)
+	}
+	if back[0] != 1 || back[1] != 2 || back[2] != 3 {
+		t.Fatalf("back mapping = %v", back)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := mustGraph(t, 3, Edge{0, 1, 0.5})
+	if _, _, err := g.InducedSubgraph([]NodeID{0, 7}); err == nil {
+		t.Fatal("out-of-range vertex should error")
+	}
+	if _, _, err := g.InducedSubgraph([]NodeID{0, 0}); err == nil {
+		t.Fatal("duplicate vertex should error")
+	}
+	empty, _, err := g.InducedSubgraph(nil)
+	if err != nil || empty.NumNodes() != 0 {
+		t.Fatalf("empty induced set: %v, %v", empty, err)
+	}
+}
+
+func TestInducedSubgraphPreservesExpectedDegreesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 4 + rng.IntN(20)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u := NodeID(rng.IntN(n))
+			v := NodeID(rng.IntN(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, rng.Float64())
+		}
+		// Induce on ALL vertices: must reproduce the graph exactly.
+		all := make([]NodeID, n)
+		for i := range all {
+			all[i] = NodeID(i)
+		}
+		sub, _, err := g.InducedSubgraph(all)
+		if err != nil {
+			return false
+		}
+		return sub.Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdWorld(t *testing.T) {
+	g := mustGraph(t, 4, Edge{0, 1, 0.9}, Edge{1, 2, 0.5}, Edge{2, 3, 0.1})
+	w := g.ThresholdWorld(0.5)
+	if !w.Present(0) || !w.Present(1) || w.Present(2) {
+		t.Fatalf("threshold 0.5: %v %v %v", w.Present(0), w.Present(1), w.Present(2))
+	}
+	if got := g.ThresholdWorld(0).NumEdges(); got != 3 {
+		t.Fatalf("threshold 0 should include all edges, got %d", got)
+	}
+	if got := g.ThresholdWorld(1.1).NumEdges(); got != 0 {
+		t.Fatalf("threshold > 1 should include none, got %d", got)
+	}
+}
+
+func TestSupportComponents(t *testing.T) {
+	g := mustGraph(t, 7,
+		Edge{0, 1, 0.2}, Edge{1, 2, 0.9}, // component {0,1,2}
+		Edge{3, 4, 0.1}, // component {3,4}
+		Edge{5, 6, 0},   // p=0: no support edge
+	)
+	comps := g.SupportComponents()
+	if len(comps) != 4 {
+		t.Fatalf("want components {0,1,2},{3,4},{5},{6}; got %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("largest component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 {
+		t.Fatalf("second component = %v", comps[1])
+	}
+}

@@ -1,0 +1,175 @@
+package uncertain
+
+import (
+	"math/rand/v2"
+
+	"chameleon/internal/unionfind"
+)
+
+// World is one possible world of an uncertain graph: a deterministic simple
+// graph over the same vertex set containing a subset of the edges.
+//
+// A World keeps a reference to the uncertain graph it was sampled from so
+// that edge identities (indices) stay aligned between the two.
+type World struct {
+	g       *Graph
+	present []bool // per edge index
+	m       int    // number of present edges
+}
+
+// SampleWorld draws one possible world of g: each edge is included
+// independently with its probability, using rng as the randomness source.
+func (g *Graph) SampleWorld(rng *rand.Rand) *World {
+	w := &World{g: g, present: make([]bool, len(g.edges))}
+	for i, e := range g.edges {
+		if e.P >= 1 || (e.P > 0 && rng.Float64() < e.P) {
+			w.present[i] = true
+			w.m++
+		}
+	}
+	return w
+}
+
+// MostProbableWorld returns the world that includes exactly the edges with
+// p >= 0.5, which maximizes the world probability under independence.
+func (g *Graph) MostProbableWorld() *World {
+	w := &World{g: g, present: make([]bool, len(g.edges))}
+	for i, e := range g.edges {
+		if e.P >= 0.5 {
+			w.present[i] = true
+			w.m++
+		}
+	}
+	return w
+}
+
+// WorldFromMask builds a world from an explicit edge-presence mask.
+// The mask is copied.
+func (g *Graph) WorldFromMask(present []bool) *World {
+	if len(present) != len(g.edges) {
+		panic("uncertain: mask length mismatch")
+	}
+	w := &World{g: g, present: append([]bool(nil), present...)}
+	for _, p := range w.present {
+		if p {
+			w.m++
+		}
+	}
+	return w
+}
+
+// Graph returns the uncertain graph this world was sampled from.
+func (w *World) Graph() *Graph { return w.g }
+
+// NumNodes returns |V|.
+func (w *World) NumNodes() int { return w.g.n }
+
+// NumEdges returns the number of edges present in this world.
+func (w *World) NumEdges() int { return w.m }
+
+// Present reports whether edge i of the underlying uncertain graph is
+// present in this world.
+func (w *World) Present(i int) bool { return w.present[i] }
+
+// PresenceMask returns the internal presence mask. The caller must not
+// mutate it.
+func (w *World) PresenceMask() []bool { return w.present }
+
+// Degree returns the degree of v in this world.
+func (w *World) Degree(v NodeID) int {
+	d := 0
+	for _, he := range w.g.adj[v] {
+		if w.present[he.Edge] {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors appends v's neighbors in this world to buf and returns it.
+func (w *World) Neighbors(v NodeID, buf []NodeID) []NodeID {
+	for _, he := range w.g.adj[v] {
+		if w.present[he.Edge] {
+			buf = append(buf, he.To)
+		}
+	}
+	return buf
+}
+
+// Components returns the union-find structure over this world's edges.
+func (w *World) Components() *unionfind.DSU {
+	d := unionfind.New(w.g.n)
+	for i, e := range w.g.edges {
+		if w.present[i] {
+			d.Union(int(e.U), int(e.V))
+		}
+	}
+	return d
+}
+
+// ComponentLabels returns a vector mapping each vertex to a canonical
+// component representative.
+func (w *World) ComponentLabels() []int32 {
+	d := w.Components()
+	labels := make([]int32, w.g.n)
+	for v := 0; v < w.g.n; v++ {
+		labels[v] = int32(d.Find(v))
+	}
+	return labels
+}
+
+// ConnectedPairs returns the number of unordered vertex pairs that are
+// connected in this world.
+func (w *World) ConnectedPairs() int64 {
+	return w.Components().ConnectedPairs()
+}
+
+// BFSDistances computes single-source shortest-path hop distances from src
+// in this world. Unreachable vertices get -1.
+func (w *World) BFSDistances(src NodeID) []int32 {
+	dist := make([]int32, w.g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, he := range w.g.adj[u] {
+			if !w.present[he.Edge] {
+				continue
+			}
+			if dist[he.To] < 0 {
+				dist[he.To] = dist[u] + 1
+				queue = append(queue, he.To)
+			}
+		}
+	}
+	return dist
+}
+
+// AdjacencyLists materializes the world's adjacency lists; useful for
+// algorithms that iterate neighborhoods repeatedly (e.g. clustering
+// coefficient, ANF).
+func (w *World) AdjacencyLists() [][]NodeID {
+	deg := make([]int, w.g.n)
+	for i, e := range w.g.edges {
+		if w.present[i] {
+			deg[e.U]++
+			deg[e.V]++
+		}
+	}
+	lists := make([][]NodeID, w.g.n)
+	for v := range lists {
+		lists[v] = make([]NodeID, 0, deg[v])
+	}
+	for i, e := range w.g.edges {
+		if w.present[i] {
+			lists[e.U] = append(lists[e.U], e.V)
+			lists[e.V] = append(lists[e.V], e.U)
+		}
+	}
+	return lists
+}

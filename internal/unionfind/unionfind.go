@@ -1,0 +1,90 @@
+// Package unionfind provides a disjoint-set union structure with union by
+// size and path halving. It is the substrate for per-world connected
+// component computations (Lemma 2 of the paper): near-constant amortized
+// operations, O(alpha(n)) per find.
+package unionfind
+
+// DSU is a disjoint-set union over n elements labeled 0..n-1.
+type DSU struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// New returns a DSU with every element in its own singleton set.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the canonical representative of x's set, compressing the
+// path by halving as it walks.
+func (d *DSU) Find(x int) int {
+	p := int32(x)
+	for d.parent[p] != p {
+		d.parent[p] = d.parent[d.parent[p]]
+		p = d.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := int32(d.Find(x)), int32(d.Find(y))
+	if rx == ry {
+		return false
+	}
+	if d.size[rx] < d.size[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	d.size[rx] += d.size[ry]
+	d.sets--
+	return true
+}
+
+// Connected reports whether x and y share a set.
+func (d *DSU) Connected(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// SetSize returns the size of x's set.
+func (d *DSU) SetSize(x int) int { return int(d.size[d.Find(x)]) }
+
+// ConnectedPairs returns the number of unordered pairs {x,y}, x != y, that
+// are connected: sum over components of s*(s-1)/2.
+func (d *DSU) ConnectedPairs() int64 {
+	var total int64
+	for i, p := range d.parent {
+		if int(p) == i { // root
+			s := int64(d.size[i])
+			total += s * (s - 1) / 2
+		}
+	}
+	return total
+}
+
+// ComponentSizes returns the multiset of component sizes in no particular
+// order.
+func (d *DSU) ComponentSizes() []int {
+	var out []int
+	for i, p := range d.parent {
+		if int(p) == i {
+			out = append(out, int(d.size[i]))
+		}
+	}
+	return out
+}

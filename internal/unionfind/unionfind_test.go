@@ -1,0 +1,208 @@
+package unionfind
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	if d.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", d.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, d.Find(i), i)
+		}
+		if d.SetSize(i) != 1 {
+			t.Errorf("SetSize(%d) = %d, want 1", i, d.SetSize(i))
+		}
+	}
+}
+
+func TestUnionMergesAndReportsChange(t *testing.T) {
+	d := New(4)
+	if !d.Union(0, 1) {
+		t.Fatal("first Union(0,1) should report a merge")
+	}
+	if d.Union(0, 1) {
+		t.Fatal("second Union(0,1) should be a no-op")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("Union(1,0) should be a no-op after Union(0,1)")
+	}
+	if !d.Connected(0, 1) {
+		t.Fatal("0 and 1 should be connected")
+	}
+	if d.Connected(0, 2) {
+		t.Fatal("0 and 2 should not be connected")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", d.Sets())
+	}
+}
+
+func TestSetSizeGrows(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(0, 2)
+	if got := d.SetSize(3); got != 4 {
+		t.Fatalf("SetSize(3) = %d, want 4", got)
+	}
+	if got := d.SetSize(5); got != 1 {
+		t.Fatalf("SetSize(5) = %d, want 1", got)
+	}
+}
+
+func TestConnectedPairs(t *testing.T) {
+	tests := []struct {
+		name   string
+		n      int
+		unions [][2]int
+		want   int64
+	}{
+		{"all singletons", 4, nil, 0},
+		{"one pair", 4, [][2]int{{0, 1}}, 1},
+		{"triangle component", 5, [][2]int{{0, 1}, {1, 2}}, 3},
+		{"two components", 6, [][2]int{{0, 1}, {1, 2}, {3, 4}}, 4},
+		{"everything", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := New(tt.n)
+			for _, u := range tt.unions {
+				d.Union(u[0], u[1])
+			}
+			if got := d.ConnectedPairs(); got != tt.want {
+				t.Fatalf("ConnectedPairs = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComponentSizes(t *testing.T) {
+	d := New(5)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	sizes := d.ComponentSizes()
+	if len(sizes) != 3 {
+		t.Fatalf("got %d components, want 3", len(sizes))
+	}
+	var total, pairs int
+	for _, s := range sizes {
+		total += s
+		pairs += s * (s - 1) / 2
+	}
+	if total != 5 {
+		t.Fatalf("sizes sum to %d, want 5", total)
+	}
+	if int64(pairs) != d.ConnectedPairs() {
+		t.Fatalf("pairs from sizes %d != ConnectedPairs %d", pairs, d.ConnectedPairs())
+	}
+}
+
+// bfsComponents computes component labels by BFS over an adjacency list,
+// the reference implementation for the property test.
+func bfsComponents(n int, edges [][2]int) []int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		queue := []int{s}
+		labels[s] = s
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if labels[v] < 0 {
+					labels[v] = s
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+func TestQuickMatchesBFS(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 2 + rng.IntN(40)
+		m := rng.IntN(3 * n)
+		edges := make([][2]int, m)
+		d := New(n)
+		for i := range edges {
+			edges[i] = [2]int{rng.IntN(n), rng.IntN(n)}
+			d.Union(edges[i][0], edges[i][1])
+		}
+		labels := bfsComponents(n, edges)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if d.Connected(u, v) != (labels[u] == labels[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 1 + rng.IntN(50)
+		d := New(n)
+		merges := 0
+		for i := 0; i < 2*n; i++ {
+			if d.Union(rng.IntN(n), rng.IntN(n)) {
+				merges++
+			}
+		}
+		// Sets + merges must equal n; sizes must sum to n.
+		if d.Sets()+merges != n {
+			return false
+		}
+		total := 0
+		for _, s := range d.ComponentSizes() {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 10000
+	rng := rand.New(rand.NewPCG(1, 1))
+	pairs := make([][2]int, 2*n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.IntN(n), rng.IntN(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+		d.ConnectedPairs()
+	}
+}
