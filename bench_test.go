@@ -18,6 +18,7 @@ import (
 	"chameleon/internal/gen"
 	"chameleon/internal/hyperanf"
 	"chameleon/internal/metrics"
+	"chameleon/internal/obs"
 	"chameleon/internal/privacy"
 	"chameleon/internal/reliability"
 	"chameleon/internal/uncertain"
@@ -188,6 +189,44 @@ func BenchmarkMEvsUnguided(b *testing.B) {
 		}
 		b.ReportMetric(gain, "entropy-gain-bits")
 	})
+}
+
+// --- observability overhead: instrumented hot paths, observer off vs on ---
+
+// BenchmarkObsOverheadAnonymize measures the cost of the instrumentation
+// on the full sigma search: "off" runs with a nil observer (the no-op
+// default, a pointer test per update), "on" with a live registry and
+// logger-less observer. The two must stay within ~2% of each other.
+func BenchmarkObsOverheadAnonymize(b *testing.B) {
+	g := benchGraph(b)
+	bench := func(o *obs.Observer) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Anonymize(g, core.Params{K: 8, Epsilon: 0.02, Samples: 100, Seed: 42, Obs: o}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("off", bench(nil))
+	b.Run("on", bench(obs.NewObserver()))
+}
+
+// BenchmarkObsOverheadEdgeRelevance measures the instrumentation cost on
+// the Monte Carlo estimator (worlds-sampled counters, per-worker counts,
+// wall-time histogram) against the uninstrumented default.
+func BenchmarkObsOverheadEdgeRelevance(b *testing.B) {
+	g := benchGraph(b)
+	bench := func(o *obs.Observer) func(*testing.B) {
+		return func(b *testing.B) {
+			est := reliability.Estimator{Samples: 150, Seed: 1, Obs: o}
+			for i := 0; i < b.N; i++ {
+				est.EdgeRelevance(g)
+			}
+		}
+	}
+	b.Run("off", bench(nil))
+	b.Run("on", bench(obs.NewObserver()))
 }
 
 // --- micro-benchmarks for the hot paths underlying the experiments ---

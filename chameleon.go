@@ -3,6 +3,7 @@ package chameleon
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 
 	"chameleon/internal/attack"
@@ -10,6 +11,7 @@ import (
 	"chameleon/internal/gen"
 	"chameleon/internal/knn"
 	"chameleon/internal/metrics"
+	"chameleon/internal/obs"
 	"chameleon/internal/privacy"
 	"chameleon/internal/reliability"
 	"chameleon/internal/repan"
@@ -67,6 +69,32 @@ func DatasetNames() []string {
 	return names
 }
 
+// Observer collects observability signals from a pipeline run: a registry
+// of counters/gauges/histograms (Monte Carlo sampling volume, genObf
+// effort, phase timings), the recorded trace spans, and an optional
+// structured logger (set the Logger field). A nil *Observer is a valid
+// no-op sink, so instrumentation can stay wired unconditionally.
+type Observer = obs.Observer
+
+// NewObserver returns an empty observer ready to be passed via
+// Options.Observer.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// NewLogger returns a debug-level structured text logger (for
+// Observer.Logger); pass os.Stderr for CLI-style progress output.
+func NewLogger(w io.Writer) *slog.Logger { return obs.NewLogger(w) }
+
+// Trace is one span of a hierarchical timing trace; see Result.Trace.
+type Trace = obs.Span
+
+// StartProfiles enables the runtime profilers selected by non-empty paths
+// (CPU profile, heap profile, execution trace) and returns the stop
+// function that flushes them; call it exactly once, typically deferred
+// from main.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	return obs.StartProfiles(cpuPath, memPath, tracePath)
+}
+
 // Method selects an anonymization algorithm.
 type Method string
 
@@ -109,6 +137,10 @@ type Options struct {
 	SizeMultiplier float64
 	// WhiteNoise is the uniform-noise floor q (default 0.01).
 	WhiteNoise float64
+	// Observer, when non-nil, receives metrics and structured progress
+	// logs from the run (the search trace in Result.Trace is recorded
+	// either way).
+	Observer *Observer
 }
 
 // Result is the outcome of a successful anonymization.
@@ -121,7 +153,16 @@ type Result struct {
 	Sigma float64
 	// Method echoes the algorithm used.
 	Method Method
+
+	trace *Trace
 }
+
+// Trace returns the phase-level search trace of the run: a root
+// "anonymize" span with "precompute", "exponential-search" and "bisection"
+// children; each search phase holds one "genobf" span per call (sigma
+// attribute) whose "attempt" children carry the per-trial outcome
+// (epsilon_tilde, ok, injected_edges) and wall time.
+func (r *Result) Trace() *Trace { return r.trace }
 
 func (o Options) coreParams() core.Params {
 	return core.Params{
@@ -133,6 +174,7 @@ func (o Options) coreParams() core.Params {
 		Attempts:       o.Attempts,
 		SizeMultiplier: o.SizeMultiplier,
 		WhiteNoise:     o.WhiteNoise,
+		Obs:            o.Observer,
 	}
 }
 
@@ -165,7 +207,8 @@ func Anonymize(g *Graph, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Graph: res.Graph, EpsilonTilde: res.EpsilonTilde, Sigma: res.Sigma, Method: o.Method}, nil
+	o.Observer.AttachSpan(res.Trace)
+	return &Result{Graph: res.Graph, EpsilonTilde: res.EpsilonTilde, Sigma: res.Sigma, Method: o.Method, trace: res.Trace}, nil
 }
 
 // PrivacyReport describes how well a published graph obfuscates the

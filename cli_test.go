@@ -1,11 +1,14 @@
 package chameleon
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"chameleon/internal/obs"
 )
 
 // TestCLIPipeline builds the command-line tools and drives the full
@@ -54,6 +57,9 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "eps~=") {
 		t.Fatalf("chameleon summary missing: %s", out)
 	}
+	if !strings.Contains(out, "phases: precompute") {
+		t.Fatalf("chameleon summary missing the phase breakdown: %s", out)
+	}
 
 	// The published file must load back as a valid graph with the same
 	// vertex set.
@@ -67,6 +73,55 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if anon.NumNodes() != orig.NumNodes() {
 		t.Fatalf("published graph has %d nodes, want %d", anon.NumNodes(), orig.NumNodes())
+	}
+
+	// Observability: -stats must dump a JSON snapshot holding the full
+	// sigma-search trace (every attempt with sigma, outcome, duration)
+	// plus the Monte Carlo sampling counters.
+	snapPath := filepath.Join(dir, "stats.json")
+	run("chameleon", "-in", graphPath, "-k", "5", "-eps", "0.05",
+		"-samples", "100", "-seed", "7", "-workers", "2", "-q", "-stats", snapPath)
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("chameleon -stats wrote nothing: %v", err)
+	}
+	var snap obs.ObserverSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("-stats snapshot is not valid JSON: %v\n%s", err, raw)
+	}
+	if snap.Counters["mc.worlds_sampled"] <= 0 {
+		t.Fatalf("-stats snapshot missing MC sampling counters: %v", snap.Counters)
+	}
+	if snap.Counters["core.genobf_calls"] <= 0 || snap.Counters["core.genobf_attempts"] <= 0 {
+		t.Fatalf("-stats snapshot missing genobf counters: %v", snap.Counters)
+	}
+	if len(snap.Spans) == 0 {
+		t.Fatal("-stats snapshot has no trace spans")
+	}
+	genobfs := snap.Spans[0].FindAll("genobf")
+	if len(genobfs) == 0 {
+		t.Fatalf("search trace has no genobf spans:\n%s", raw)
+	}
+	var attempts int
+	for _, g := range genobfs {
+		if _, ok := g.Attr("sigma"); !ok {
+			t.Fatalf("genobf span lacks sigma: %+v", g.Attrs)
+		}
+		for _, a := range g.FindAll("attempt") {
+			attempts++
+			if _, ok := a.Attr("sigma"); !ok {
+				t.Fatalf("attempt lacks sigma: %+v", a.Attrs)
+			}
+			if _, ok := a.Attr("ok"); !ok {
+				t.Fatalf("attempt lacks outcome: %+v", a.Attrs)
+			}
+			if a.DurationNS <= 0 {
+				t.Fatalf("attempt lacks wall time: %+v", a)
+			}
+		}
+	}
+	if want := int(snap.Counters["core.genobf_attempts"]); attempts != want {
+		t.Fatalf("trace holds %d attempts, counters say %d", attempts, want)
 	}
 
 	statsOut := run("ugstat", "-g", graphPath, "-pub", anonPath, "-k", "5",

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	chameleon -in g.tsv -out g_anon.tsv -k 20 -eps 0.01 -method RSME
+//
+// Observability: -v logs structured progress to stderr; -stats FILE dumps
+// the final metrics registry and the full sigma-search trace as JSON
+// (-stats - writes the aligned-text form to stderr); -cpuprofile,
+// -memprofile and -trace enable the runtime profilers.
 package main
 
 import (
@@ -25,8 +30,14 @@ func main() {
 		method  = flag.String("method", "RSME", "method: RSME | RS | ME | Rep-An")
 		samples = flag.Int("samples", 1000, "Monte Carlo samples for reliability relevance")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
 		binaryF = flag.Bool("binary", false, "write the compact binary format instead of TSV")
 		quiet   = flag.Bool("q", false, "suppress the summary on stderr")
+		verbose = flag.Bool("v", false, "log structured progress to stderr")
+		stats   = flag.String("stats", "", "dump the final metrics snapshot: a path writes JSON, '-' writes text to stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		trace   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -35,24 +46,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	g, err := chameleon.LoadGraph(*in)
+	stopProfiles, err := chameleon.StartProfiles(*cpuProf, *memProf, *trace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chameleon:", err)
 		os.Exit(1)
 	}
 
+	obs := chameleon.NewObserver()
+	if *verbose {
+		obs.Logger = chameleon.NewLogger(os.Stderr)
+	}
+
+	g, err := chameleon.LoadGraph(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chameleon:", err)
+		os.Exit(1)
+	}
+	obs.Log("loaded graph", "path", *in, "nodes", g.NumNodes(), "edges", g.NumEdges())
+
 	start := time.Now()
 	res, err := chameleon.Anonymize(g, chameleon.Options{
-		K:       *k,
-		Epsilon: *eps,
-		Method:  chameleon.Method(*method),
-		Samples: *samples,
-		Seed:    *seed,
+		K:        *k,
+		Epsilon:  *eps,
+		Method:   chameleon.Method(*method),
+		Samples:  *samples,
+		Seed:     *seed,
+		Workers:  *workers,
+		Observer: obs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chameleon:", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(start)
 
 	if *out == "" {
 		if err := chameleon.WriteGraph(os.Stdout, res.Graph); err != nil {
@@ -73,6 +99,57 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"anonymized %d nodes / %d->%d edges with %s: k=%d eps~=%.4f sigma=%.4f (%v)\n",
 			g.NumNodes(), g.NumEdges(), res.Graph.NumEdges(), res.Method,
-			*k, res.EpsilonTilde, res.Sigma, time.Since(start).Round(time.Millisecond))
+			*k, res.EpsilonTilde, res.Sigma, elapsed.Round(time.Millisecond))
+		writePhaseBreakdown(res)
+	}
+	if err := writeStats(*stats, obs); err != nil {
+		fmt.Fprintln(os.Stderr, "chameleon:", err)
+		os.Exit(1)
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "chameleon:", err)
+		os.Exit(1)
+	}
+}
+
+// writePhaseBreakdown reports where the run's time went: the relevance/
+// uniqueness precompute versus the two sigma-search phases, with the
+// genObf effort behind each.
+func writePhaseBreakdown(res *chameleon.Result) {
+	t := res.Trace()
+	if t == nil {
+		return
+	}
+	rnd := func(s *chameleon.Trace) time.Duration { return s.Duration().Round(time.Millisecond) }
+	pre := t.Find("precompute")
+	exp := t.Find("exponential-search")
+	bis := t.Find("bisection")
+	if pre == nil || exp == nil || bis == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"phases: precompute %v (relevance+uniqueness), sigma search %v (exponential %v in %d genobf calls, bisection %v in %d calls)\n",
+		rnd(pre), (exp.Duration() + bis.Duration()).Round(time.Millisecond),
+		rnd(exp), len(exp.FindAll("genobf")), rnd(bis), len(bis.FindAll("genobf")))
+}
+
+// writeStats dumps the observer snapshot per the -stats flag contract: ""
+// is off, "-" writes aligned text to stderr, anything else is a JSON file.
+func writeStats(dest string, obs *chameleon.Observer) error {
+	switch dest {
+	case "":
+		return nil
+	case "-":
+		return obs.WriteText(os.Stderr)
+	default:
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 }

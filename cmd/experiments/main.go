@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"chameleon/internal/exp"
+	"chameleon/internal/obs"
 )
 
 func main() {
@@ -31,10 +32,27 @@ func main() {
 		samples = flag.Int("samples", 0, "override reliability sample budget")
 		seed    = flag.Uint64("seed", 7, "random seed")
 		csvPath = flag.String("csv", "", "write the raw sweep grid as CSV")
+		workers = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
+		verbose = flag.Bool("v", false, "log structured per-cell progress to stderr")
+		stats   = flag.String("stats", "", "dump the final metrics snapshot: a path writes JSON, '-' writes text to stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		trcPath = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Quick: *quick, Samples: *samples, Seed: *seed}
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf, *trcPath)
+	fail(err)
+
+	var observer *obs.Observer
+	if *stats != "" || *verbose {
+		observer = obs.NewObserver()
+		if *verbose {
+			observer.Logger = obs.NewLogger(os.Stderr)
+		}
+	}
+
+	cfg := exp.Config{Quick: *quick, Samples: *samples, Seed: *seed, Workers: *workers, Obs: observer}
 	want := map[string]bool{}
 	for _, r := range strings.Split(*run, ",") {
 		want[strings.TrimSpace(r)] = true
@@ -61,7 +79,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	needSweep := all || want["tableI"] || want["fig8"] || want["fig9"] || want["fig10"] || want["fig11"] || want["sweep"]
+	needSweep := all || want["tableI"] || want["fig8"] || want["fig9"] || want["fig10"] || want["fig11"] || want["timing"] || want["sweep"]
 	if needSweep {
 		runs, bases, err := cfg.SweepAll(exp.Methods)
 		fail(err)
@@ -116,6 +134,29 @@ func main() {
 		runAblations(cfg, out)
 	}
 	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Millisecond))
+
+	fail(writeStats(*stats, observer))
+	fail(stopProfiles())
+}
+
+// writeStats dumps the observer snapshot per the -stats flag contract: ""
+// is off, "-" writes aligned text to stderr, anything else is a JSON file.
+func writeStats(dest string, observer *obs.Observer) error {
+	if dest == "" {
+		return nil
+	}
+	if dest == "-" {
+		return observer.WriteText(os.Stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := observer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runAblations(cfg exp.Config, out *os.File) {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/privacy"
 	"chameleon/internal/reliability"
 	"chameleon/internal/uncertain"
@@ -18,12 +19,20 @@ func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
 	if err := p.validate(g); err != nil {
 		return nil, err
 	}
+	root := obs.NewSpan("anonymize")
+	root.SetAttr("variant", p.Variant.String())
+	defer root.End()
+
+	pre := root.StartChild("precompute")
 	st, err := newSearchState(g, p)
+	pre.End()
 	if err != nil {
 		return nil, err
 	}
+	p.Obs.Debug("core: precompute done",
+		"variant", p.Variant.String(), "dur", pre.Duration())
 
-	res := &Result{Variant: p.Variant}
+	res := &Result{Variant: p.Variant, Trace: root}
 
 	// Phase 1: exponential search for a feasible sigma. The search starts
 	// from a near-zero noise level rather than the paper's sigma_u = 1: an
@@ -31,6 +40,8 @@ func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
 	// tiny noise suffices, and GenObf success is not monotone in sigma, so
 	// starting high can lock the bisection into a needlessly large noise
 	// bracket.
+	phase := root.StartChild("exponential-search")
+	st.phase = phase
 	sigmaLo, sigmaHi := 0.0, 4*p.SigmaTolerance
 	var best *genObfOutcome
 	for d := 0; ; d++ {
@@ -40,13 +51,22 @@ func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
 			break
 		}
 		if d >= p.MaxDoublings {
+			phase.SetAttr("found", false)
+			phase.End()
 			return nil, ErrNoObfuscation
 		}
 		sigmaLo, sigmaHi = sigmaHi, sigmaHi*4
 	}
+	phase.SetAttr("found", true)
+	phase.SetAttr("sigma_hi", sigmaHi)
+	phase.End()
+	p.Obs.Debug("core: exponential search bracketed sigma",
+		"sigma_lo", sigmaLo, "sigma_hi", sigmaHi, "dur", phase.Duration())
 
 	// Phase 2: bisection for the smallest feasible sigma, keeping the best
 	// obfuscation found.
+	phase = root.StartChild("bisection")
+	st.phase = phase
 	for sigmaHi-sigmaLo > p.SigmaTolerance {
 		mid := (sigmaLo + sigmaHi) / 2
 		out := st.genObf(mid, res)
@@ -57,10 +77,18 @@ func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
 			sigmaLo = mid
 		}
 	}
+	phase.SetAttr("sigma", sigmaHi)
+	phase.End()
 
 	res.Graph = best.graph
 	res.EpsilonTilde = best.epsilon
 	res.Sigma = sigmaHi
+	root.SetAttr("sigma", res.Sigma)
+	root.SetAttr("epsilon_tilde", res.EpsilonTilde)
+	p.Obs.Log("core: anonymization done",
+		"variant", p.Variant.String(), "sigma", res.Sigma,
+		"epsilon_tilde", res.EpsilonTilde, "genobf_calls", res.GenObfCalls,
+		"attempts", res.Attempts, "dur", root.Duration())
 	return res, nil
 }
 
@@ -76,6 +104,7 @@ type searchState struct {
 	cumQ   []float64 // cumulative weights for sampling
 	target int       // |E_C| target = c*|E|
 	seq    uint64    // attempt counter for RNG derivation
+	phase  *obs.Span // current search-phase span; genObf nests under it
 }
 
 func newSearchState(g *uncertain.Graph, p Params) (*searchState, error) {
@@ -85,7 +114,7 @@ func newSearchState(g *uncertain.Graph, p Params) (*searchState, error) {
 
 	var vrr []float64
 	if p.Variant.reliabilitySensitive() {
-		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers}
+		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers, Obs: p.Obs}
 		edgeRel := est.EdgeRelevance(g)
 		vrr = reliability.NormalizeToUnit(reliability.VertexRelevance(g, edgeRel))
 	} else {

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/privacy"
 	"chameleon/internal/truncnorm"
 	"chameleon/internal/uncertain"
@@ -36,21 +37,51 @@ type candidate struct {
 // achieved epsilon~ that meets the tolerance, or epsilon~ = 1 on failure.
 func (st *searchState) genObf(sigma float64, res *Result) genObfOutcome {
 	res.GenObfCalls++
+	reg := st.p.Obs.Registry()
+	reg.Counter("core.genobf_calls").Inc()
+	sp := st.phase.StartChild("genobf")
+	sp.SetAttr("sigma", sigma)
+
 	best := genObfOutcome{epsilon: 1}
 	for t := 0; t < st.p.Attempts; t++ {
 		res.Attempts++
+		reg.Counter("core.genobf_attempts").Inc()
+		asp := sp.StartChild("attempt")
+		asp.SetAttr("sigma", sigma)
 		st.seq++
 		rng := rand.New(rand.NewPCG(st.p.Seed^0xC0DEC0DE, st.seq))
 		cands := st.selectCandidates(rng)
 		pub := st.perturb(cands, sigma, rng)
+		// Injected candidates that survived perturbation: pub keeps every
+		// original edge, so the edge-count delta is exactly the re-injected
+		// non-edges.
+		asp.SetAttr("injected_edges", pub.NumEdges()-st.g.NumEdges())
 		rep, err := privacy.CheckObfuscation(pub, st.prop, st.p.K)
 		if err != nil {
+			asp.SetAttr("ok", false)
+			asp.SetAttr("error", err.Error())
+			asp.End()
 			continue
 		}
-		if rep.EpsilonTilde <= st.p.Epsilon && rep.EpsilonTilde < best.epsilon {
+		accepted := rep.EpsilonTilde <= st.p.Epsilon
+		asp.SetAttr("epsilon_tilde", rep.EpsilonTilde)
+		asp.SetAttr("ok", accepted)
+		asp.End()
+		if accepted {
+			reg.Counter("core.genobf_accepted").Inc()
+		}
+		if accepted && rep.EpsilonTilde < best.epsilon {
 			best = genObfOutcome{epsilon: rep.EpsilonTilde, graph: pub}
 		}
 	}
+	sp.SetAttr("ok", best.ok())
+	if best.ok() {
+		sp.SetAttr("epsilon_tilde", best.epsilon)
+	}
+	sp.End()
+	reg.Histogram("core.genobf_seconds", obs.TimeBuckets).ObserveDuration(sp.Duration())
+	st.p.Obs.Debug("core: genobf", "sigma", sigma, "ok", best.ok(),
+		"epsilon_tilde", best.epsilon, "dur", sp.Duration())
 	return best
 }
 

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/uncertain"
 )
 
@@ -97,6 +98,12 @@ type Params struct {
 	// MaxDoublings bounds the initial exponential search; default 8
 	// (sigma up to 256).
 	MaxDoublings int
+
+	// Obs receives metrics (genObf call/attempt counters, Monte Carlo
+	// sampling volume, phase timings) and structured progress logs. Nil
+	// disables observability; the search trace in Result.Trace is
+	// recorded either way.
+	Obs *obs.Observer
 }
 
 func (p Params) withDefaults() Params {
@@ -164,6 +171,13 @@ type Result struct {
 	Attempts int
 	// Variant echoes the heuristic combination used.
 	Variant Variant
+	// Trace is the phase-level search trace: a "precompute" span for the
+	// score precomputation, then one span per search phase
+	// ("exponential-search", "bisection") whose "genobf" children carry
+	// the sigma tried, and whose "attempt" grandchildren carry the
+	// per-trial outcome (epsilon_tilde, ok, injected_edges) and wall
+	// time. Always recorded; query it with Find/FindAll.
+	Trace *obs.Span
 }
 
 // ErrNoObfuscation is returned when no sigma within the search budget

@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 
 	"chameleon/internal/gen"
+	"chameleon/internal/obs"
 	"chameleon/internal/uncertain"
 )
 
@@ -32,6 +33,9 @@ type Config struct {
 	// Quick switches to miniature datasets and reduced budgets; used by
 	// tests and the -quick CLI flag.
 	Quick bool
+	// Obs, when non-nil, collects per-sweep-cell trace spans, Monte Carlo
+	// sampling metrics and structured progress logs for the whole run.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {

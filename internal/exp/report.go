@@ -189,12 +189,13 @@ func WriteFig4(w io.Writer, rows []Fig4Row) {
 
 // WriteRunsCSV emits the raw sweep grid as CSV for downstream plotting.
 func WriteRunsCSV(w io.Writer, runs []Run) {
-	fmt.Fprintln(w, "dataset,method,k_paper,k_scaled,epsilon_tilde,sigma,rel_discrepancy,avg_degree_err,avg_distance_err,clustering_err,eff_diameter_err,max_degree_err,failed,elapsed_ms")
+	fmt.Fprintln(w, "dataset,method,k_paper,k_scaled,epsilon_tilde,sigma,rel_discrepancy,avg_degree_err,avg_distance_err,clustering_err,eff_diameter_err,max_degree_err,failed,elapsed_ms,anon_ms,eval_ms")
 	for _, r := range runs {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%t,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%t,%d,%d,%d\n",
 			r.Dataset, r.Method, r.PaperK, r.K, r.EpsilonTilde, r.Sigma,
 			r.RelDiscrepancy, r.AvgDegreeErr, r.AvgDistanceErr, r.ClusteringErr,
-			r.EffDiameterErr, r.MaxDegreeErr, r.Failed, r.Elapsed.Milliseconds())
+			r.EffDiameterErr, r.MaxDegreeErr, r.Failed, r.Elapsed.Milliseconds(),
+			r.AnonElapsed.Milliseconds(), r.EvalElapsed.Milliseconds())
 	}
 }
 
@@ -205,6 +206,8 @@ func WriteRunsCSV(w io.Writer, runs []Run) {
 func WriteTiming(w io.Writer, runs []Run) {
 	type key struct{ dataset, method string }
 	times := map[key][]float64{}
+	anonTimes := map[key][]float64{}
+	evalTimes := map[key][]float64{}
 	var datasets, methods []string
 	seenD, seenM := map[string]bool{}, map[string]bool{}
 	for _, r := range runs {
@@ -213,6 +216,8 @@ func WriteTiming(w io.Writer, runs []Run) {
 		}
 		k := key{r.Dataset, r.Method}
 		times[k] = append(times[k], float64(r.Elapsed.Milliseconds()))
+		anonTimes[k] = append(anonTimes[k], float64(r.AnonElapsed.Milliseconds()))
+		evalTimes[k] = append(evalTimes[k], float64(r.EvalElapsed.Milliseconds()))
 		if !seenD[r.Dataset] {
 			seenD[r.Dataset] = true
 			datasets = append(datasets, r.Dataset)
@@ -229,7 +234,7 @@ func WriteTiming(w io.Writer, runs []Run) {
 		sort.Float64s(xs)
 		return xs[len(xs)/2]
 	}
-	fmt.Fprintln(w, "Efficiency: median wall-clock per sweep cell (ms; anonymization + utility measurement)")
+	fmt.Fprintln(w, "Efficiency: median wall-clock per sweep cell, total (anonymize/evaluate) ms")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	header := "  dataset"
 	for _, m := range methods {
@@ -239,7 +244,9 @@ func WriteTiming(w io.Writer, runs []Run) {
 	for _, d := range datasets {
 		row := "  " + d
 		for _, m := range methods {
-			row += fmt.Sprintf("\t%.0f", median(times[key{d, m}]))
+			k := key{d, m}
+			row += fmt.Sprintf("\t%.0f (%.0f/%.0f)",
+				median(times[k]), median(anonTimes[k]), median(evalTimes[k]))
 		}
 		fmt.Fprintln(tw, row)
 	}

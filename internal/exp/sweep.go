@@ -7,6 +7,7 @@ import (
 	"chameleon/internal/core"
 	"chameleon/internal/gen"
 	"chameleon/internal/metrics"
+	"chameleon/internal/obs"
 	"chameleon/internal/reliability"
 	"chameleon/internal/repan"
 	"chameleon/internal/uncertain"
@@ -35,8 +36,10 @@ type Run struct {
 	EffDiameterErr float64 // supplementary node-separation metric
 	MaxDegreeErr   float64 // supplementary degree metric
 	Elapsed        time.Duration
-	Failed         bool   // true when no (k,eps)-obfuscation was found
-	FailReason     string // error text when Failed
+	AnonElapsed    time.Duration // anonymization (sigma search) share of Elapsed
+	EvalElapsed    time.Duration // utility-measurement share of Elapsed
+	Failed         bool          // true when no (k,eps)-obfuscation was found
+	FailReason     string        // error text when Failed
 }
 
 // Baseline summarizes the original graph's metric values for one dataset.
@@ -98,6 +101,24 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 	k := d.KScale(paperK)
 	run := Run{Dataset: d.Name, Method: method, PaperK: paperK, K: k}
 	start := time.Now()
+	cell := obs.NewSpan("sweep.cell")
+	cell.SetAttr("dataset", d.Name)
+	cell.SetAttr("method", method)
+	cell.SetAttr("k", k)
+	finish := func(run *Run) {
+		run.Elapsed = time.Since(start)
+		cell.SetAttr("failed", run.Failed)
+		cell.End()
+		c.Obs.AttachSpan(cell)
+		c.Obs.Registry().Counter("exp.cells").Inc()
+		if run.Failed {
+			c.Obs.Registry().Counter("exp.cells_failed").Inc()
+		}
+		c.Obs.Registry().Histogram("exp.cell_seconds", obs.TimeBuckets).ObserveDuration(run.Elapsed)
+		c.Obs.Debug("exp: cell done", "dataset", d.Name, "method", method,
+			"k", k, "failed", run.Failed, "anon", run.AnonElapsed,
+			"eval", run.EvalElapsed, "total", run.Elapsed)
+	}
 
 	params := core.Params{
 		K:       k,
@@ -105,6 +126,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		Samples: c.Samples,
 		Seed:    c.Seed ^ hashName(method) ^ uint64(paperK),
 		Workers: c.Workers,
+		Obs:     c.Obs,
 		// The top of each k sweep sits near the feasibility edge at this
 		// graph scale; extra trials and a wider sigma range keep the
 		// randomized search from flaking there.
@@ -112,22 +134,30 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		MaxDoublings: 10,
 	}
 	res, err := anonymizeWith(method, g, params)
+	run.AnonElapsed = time.Since(start)
+	if res != nil {
+		cell.Adopt(res.Trace)
+	}
 	if err != nil {
 		run.Failed = true
 		run.FailReason = err.Error()
-		run.Elapsed = time.Since(start)
+		finish(&run)
 		return run
 	}
 	run.EpsilonTilde = res.EpsilonTilde
 	run.Sigma = res.Sigma
 
+	evalStart := time.Now()
+	eval := cell.StartChild("evaluate")
 	pub := res.Graph
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs}
 	rel, err := est.RelativeDiscrepancy(g, pub, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
 	if err != nil {
 		run.Failed = true
 		run.FailReason = err.Error()
-		run.Elapsed = time.Since(start)
+		run.EvalElapsed = time.Since(evalStart)
+		eval.End()
+		finish(&run)
 		return run
 	}
 	run.RelDiscrepancy = rel
@@ -139,7 +169,9 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 	run.AvgDistanceErr = metrics.RelativeError(base.AvgDistance, dist.AverageDistance)
 	run.EffDiameterErr = metrics.RelativeError(base.EffDiameter, dist.EffectiveDiameter)
 	run.ClusteringErr = metrics.RelativeError(base.Clustering, mo.ClusteringCoefficient(pub))
-	run.Elapsed = time.Since(start)
+	run.EvalElapsed = time.Since(evalStart)
+	eval.End()
+	finish(&run)
 	return run
 }
 

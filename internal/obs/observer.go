@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// Observer bundles a metrics registry, collected trace roots and an
+// optional structured logger. It is the single hook instrumented code
+// accepts: a nil *Observer disables all three at the cost of a pointer
+// test per call.
+type Observer struct {
+	// Logger, when non-nil, receives structured progress events via Log
+	// and Debug. Set it right after NewObserver; it is read without
+	// locking.
+	Logger *slog.Logger
+
+	reg *Registry
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewObserver returns an observer with a fresh registry and no logger.
+func NewObserver() *Observer {
+	return &Observer{reg: NewRegistry()}
+}
+
+// Registry returns the metrics registry (nil for a nil observer, which is
+// itself a usable no-op registry).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// StartSpan starts a new root span and records it with the observer.
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	s := NewSpan(name)
+	o.AttachSpan(s)
+	return s
+}
+
+// AttachSpan records an externally built trace root with the observer so
+// snapshots include it.
+func (o *Observer) AttachSpan(s *Span) {
+	if o == nil || s == nil {
+		return
+	}
+	o.mu.Lock()
+	o.spans = append(o.spans, s)
+	o.mu.Unlock()
+}
+
+// Spans returns the recorded trace roots in attachment order.
+func (o *Observer) Spans() []*Span {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Span(nil), o.spans...)
+}
+
+// Log emits an info-level structured event if a logger is configured.
+func (o *Observer) Log(msg string, args ...any) {
+	if o == nil || o.Logger == nil {
+		return
+	}
+	o.Logger.Info(msg, args...)
+}
+
+// Debug emits a debug-level structured event if a logger is configured.
+func (o *Observer) Debug(msg string, args ...any) {
+	if o == nil || o.Logger == nil {
+		return
+	}
+	o.Logger.Debug(msg, args...)
+}
+
+// ObserverSnapshot is the full frozen state of an observer: the registry
+// snapshot plus every recorded trace root.
+type ObserverSnapshot struct {
+	Snapshot
+	Spans []*Span `json:"spans,omitempty"`
+}
+
+// Snapshot freezes the observer's registry and trace roots.
+func (o *Observer) Snapshot() ObserverSnapshot {
+	return ObserverSnapshot{Snapshot: o.Registry().Snapshot(), Spans: o.Spans()}
+}
+
+// WriteJSON writes the full observer snapshot as indented JSON.
+func (o *Observer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.Snapshot())
+}
+
+// WriteText writes the registry as an aligned table followed by each trace
+// rendered as an indented tree.
+func (o *Observer) WriteText(w io.Writer) error {
+	if err := o.Registry().Snapshot().WriteText(w); err != nil {
+		return err
+	}
+	for _, s := range o.Spans() {
+		if err := s.WriteTree(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewLogger returns a text slog logger suitable for -v CLI output: debug
+// level, no timestamps stripped (operators correlate with wall clock).
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}

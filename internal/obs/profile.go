@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles enables the runtime profilers selected by non-empty paths:
+// a CPU profile, a heap profile (written at stop time, after a GC), and an
+// execution trace. It returns a stop function that must be called exactly
+// once — typically deferred from main — to flush and close everything.
+//
+// On error, anything already started is stopped before returning.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+	}
+
+	return func() error {
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("obs: cpu profile: %w", err))
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("obs: execution trace: %w", err))
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("obs: heap profile: %w", err))
+			} else {
+				runtime.GC() // materialize up-to-date allocation stats
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					errs = append(errs, fmt.Errorf("obs: heap profile: %w", err))
+				}
+				if err := f.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("obs: heap profile: %w", err))
+				}
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// under -race this also proves the absence of data races.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits") // get-or-create racing on purpose
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramConcurrent checks bucket placement, count and sum under
+// concurrent observation.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{1, 10, 100}
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.Histogram("lat", bounds)
+			for i := 0; i < perWorker; i++ {
+				h.Observe(0.5) // <= 1 bucket
+				h.Observe(5)   // <= 10 bucket
+				h.Observe(1e6) // overflow
+			}
+		}()
+	}
+	wg.Wait()
+	h := r.Histogram("lat", bounds)
+	if got := h.Count(); got != int64(3*workers*perWorker) {
+		t.Fatalf("count = %d, want %d", got, 3*workers*perWorker)
+	}
+	wantSum := float64(workers*perWorker) * (0.5 + 5 + 1e6)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %g, want %g", got, wantSum)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	if len(snap.Buckets) != 3 {
+		t.Fatalf("buckets = %+v, want 3 non-empty", snap.Buckets)
+	}
+	per := int64(workers * perWorker)
+	for i, want := range []BucketCount{{"1", per}, {"10", per}, {"+Inf", per}} {
+		if snap.Buckets[i] != want {
+			t.Fatalf("bucket %d = %+v, want %+v", i, snap.Buckets[i], want)
+		}
+	}
+}
+
+// TestGauge checks last-write-wins semantics and nil safety.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("level")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if got := r.Gauge("level").Value(); got != -2.25 {
+		t.Fatalf("gauge = %v, want -2.25", got)
+	}
+}
+
+// TestNilRegistryIsNoop: a nil registry and its nil instruments must
+// absorb every operation.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Gauge("y").Set(1)
+	r.Histogram("z", TimeBuckets).Observe(3)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter = %d", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+	var o *Observer
+	o.Log("dropped")
+	o.AttachSpan(NewSpan("s"))
+	if o.Registry() != nil || o.Spans() != nil {
+		t.Fatal("nil observer must expose nil registry and no spans")
+	}
+}
+
+// TestHistogramBadBounds: non-ascending bounds are a programming error.
+func TestHistogramBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

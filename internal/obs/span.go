@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed node of a hierarchical trace. StartNS is the offset of
+// the span's start from its parent's start (0 for a root), so a subtree
+// stays self-consistent when adopted into another tree. Timing uses the
+// monotonic clock carried by time.Time.
+//
+// All methods are safe on a nil *Span, so call sites need no guards when
+// tracing is off. Attribute and child updates are mutex-protected and safe
+// for concurrent use.
+type Span struct {
+	Name       string         `json:"name"`
+	StartNS    int64          `json:"start_ns"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*Span        `json:"children,omitempty"`
+
+	mu    sync.Mutex
+	start time.Time
+	ended bool
+}
+
+// NewSpan starts a new root span.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// StartChild starts a new child span nested under s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	c := &Span{Name: name, start: now, StartNS: now.Sub(s.start).Nanoseconds()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Adopt attaches an independently started span (and its subtree) as a
+// child of s, rebasing its start offset onto s.
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	c.StartNS = c.start.Sub(s.start).Nanoseconds()
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+}
+
+// End freezes the span's duration. Only the first End takes effect, so a
+// span's duration never shrinks or grows after it is read.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.DurationNS = time.Since(s.start).Nanoseconds()
+	}
+	s.mu.Unlock()
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// Duration returns the frozen duration, or the running duration for a span
+// that has not ended yet.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return time.Duration(s.DurationNS)
+	}
+	return time.Since(s.start)
+}
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any)
+	}
+	s.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr returns the named attribute.
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.Attrs[key]
+	return v, ok
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// subtree rooted at s (s itself included), or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	s.mu.Lock()
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindAll returns every span named name in the subtree rooted at s, in
+// depth-first order.
+func (s *Span) FindAll(name string) []*Span {
+	var out []*Span
+	s.findAll(name, &out)
+	return out
+}
+
+func (s *Span) findAll(name string, out *[]*Span) {
+	if s == nil {
+		return
+	}
+	if s.Name == name {
+		*out = append(*out, s)
+	}
+	s.mu.Lock()
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		c.findAll(name, out)
+	}
+}
+
+// WriteTree renders the span tree as indented text, one span per line with
+// its duration and attributes.
+func (s *Span) WriteTree(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	return s.writeTree(w, 0)
+}
+
+func (s *Span) writeTree(w io.Writer, depth int) error {
+	s.mu.Lock()
+	name := s.Name
+	dur := time.Duration(s.DurationNS)
+	attrs := make([]string, 0, len(s.Attrs))
+	for _, k := range sortedKeys(s.Attrs) {
+		attrs = append(attrs, fmt.Sprintf("%s=%v", k, s.Attrs[k]))
+	}
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+
+	line := fmt.Sprintf("%s%s %v", strings.Repeat("  ", depth), name, dur)
+	if len(attrs) > 0 {
+		line += " {" + strings.Join(attrs, " ") + "}"
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := c.writeTree(w, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanNestingInvariants: children start no earlier than their parent,
+// offsets are non-negative and non-decreasing in creation order, and an
+// ended child fits inside its parent's window when ended first.
+func TestSpanNestingInvariants(t *testing.T) {
+	root := NewSpan("root")
+	a := root.StartChild("a")
+	aa := a.StartChild("aa")
+	time.Sleep(time.Millisecond)
+	aa.End()
+	a.End()
+	b := root.StartChild("b")
+	b.End()
+	root.End()
+
+	if root.StartNS != 0 {
+		t.Fatalf("root offset = %d, want 0", root.StartNS)
+	}
+	if a.StartNS < 0 || b.StartNS < a.StartNS {
+		t.Fatalf("child offsets out of order: a=%d b=%d", a.StartNS, b.StartNS)
+	}
+	// aa is offset from a; its window must fit inside a's.
+	if aa.StartNS < 0 || aa.StartNS+aa.DurationNS > a.DurationNS {
+		t.Fatalf("aa [%d,+%d] escapes a (dur %d)", aa.StartNS, aa.DurationNS, a.DurationNS)
+	}
+	if a.StartNS+a.DurationNS > root.DurationNS {
+		t.Fatalf("a escapes root")
+	}
+	if len(root.Children) != 2 || root.Children[0] != a || root.Children[1] != b {
+		t.Fatalf("children order wrong: %+v", root.Children)
+	}
+}
+
+// TestSpanEndIdempotent: the first End freezes the duration.
+func TestSpanEndIdempotent(t *testing.T) {
+	s := NewSpan("s")
+	s.End()
+	d := s.DurationNS
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.DurationNS != d {
+		t.Fatalf("second End changed duration: %d -> %d", d, s.DurationNS)
+	}
+	if !s.Ended() {
+		t.Fatal("span should report ended")
+	}
+}
+
+// TestSpanAdoptRebasesOffset: an adopted root becomes a child with a
+// parent-relative offset; its own children keep their offsets.
+func TestSpanAdoptRebasesOffset(t *testing.T) {
+	parent := NewSpan("parent")
+	time.Sleep(time.Millisecond)
+	orphan := NewSpan("orphan")
+	kid := orphan.StartChild("kid")
+	kid.End()
+	orphan.End()
+	kidOffset := kid.StartNS
+	parent.Adopt(orphan)
+	parent.End()
+	if orphan.StartNS <= 0 {
+		t.Fatalf("adopted offset = %d, want > 0 (started after parent)", orphan.StartNS)
+	}
+	if kid.StartNS != kidOffset {
+		t.Fatalf("adoption must not touch grandchildren offsets")
+	}
+	if parent.Find("kid") != kid {
+		t.Fatal("Find must reach adopted subtree")
+	}
+}
+
+// TestSpanFindAndAttrs exercises the query helpers.
+func TestSpanFindAndAttrs(t *testing.T) {
+	root := NewSpan("root")
+	for i := 0; i < 3; i++ {
+		c := root.StartChild("attempt")
+		c.SetAttr("i", i)
+		c.End()
+	}
+	root.End()
+	if got := len(root.FindAll("attempt")); got != 3 {
+		t.Fatalf("FindAll = %d, want 3", got)
+	}
+	first := root.Find("attempt")
+	if v, ok := first.Attr("i"); !ok || v != 0 {
+		t.Fatalf("first attempt attr = %v, %v", v, ok)
+	}
+	if root.Find("missing") != nil {
+		t.Fatal("Find of a missing name must be nil")
+	}
+	var nilSpan *Span
+	if nilSpan.Find("x") != nil || nilSpan.FindAll("x") != nil {
+		t.Fatal("nil span queries must be empty")
+	}
+	if _, ok := nilSpan.Attr("x"); ok {
+		t.Fatal("nil span has no attrs")
+	}
+}
+
+// TestSpanConcurrentChildren: concurrent StartChild/SetAttr must be safe
+// (meaningful under -race).
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := root.StartChild("c")
+				c.SetAttr("w", w)
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.FindAll("c")); got != 400 {
+		t.Fatalf("children = %d, want 400", got)
+	}
+}
+
+// TestWriteTree renders names, durations and attributes with indentation.
+func TestWriteTree(t *testing.T) {
+	root := NewSpan("root")
+	c := root.StartChild("child")
+	c.SetAttr("sigma", 0.5)
+	c.End()
+	root.End()
+	var sb strings.Builder
+	if err := root.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "root ") || !strings.Contains(out, "  child ") {
+		t.Fatalf("tree output:\n%s", out)
+	}
+	if !strings.Contains(out, "sigma=0.5") {
+		t.Fatalf("attrs missing:\n%s", out)
+	}
+}

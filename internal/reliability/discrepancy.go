@@ -3,6 +3,7 @@ package reliability
 import (
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"chameleon/internal/uncertain"
 )
@@ -14,6 +15,7 @@ import (
 // Cost is O(N * |V|^2) label comparisons; use SampledPairDiscrepancy for
 // large graphs.
 func (e Estimator) Discrepancy(g, h *uncertain.Graph) (float64, error) {
+	defer e.timeOp("Discrepancy", time.Now())
 	if g.NumNodes() != h.NumNodes() {
 		return 0, fmt.Errorf("reliability: vertex count mismatch %d vs %d", g.NumNodes(), h.NumNodes())
 	}
@@ -57,6 +59,7 @@ type PairSample struct {
 // the "average reliability discrepancy" (Figure 4) which is exactly this
 // per-pair mean.
 func (e Estimator) SampledPairDiscrepancy(g, h *uncertain.Graph, ps PairSample) (float64, error) {
+	defer e.timeOp("SampledPairDiscrepancy", time.Now())
 	if g.NumNodes() != h.NumNodes() {
 		return 0, fmt.Errorf("reliability: vertex count mismatch %d vs %d", g.NumNodes(), h.NumNodes())
 	}

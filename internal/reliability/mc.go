@@ -6,10 +6,13 @@
 package reliability
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"time"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/uncertain"
 )
 
@@ -28,6 +31,9 @@ type Estimator struct {
 	Seed uint64
 	// Workers caps sampling parallelism. Zero means GOMAXPROCS.
 	Workers int
+	// Obs, when non-nil, receives Monte Carlo metrics: worlds sampled,
+	// per-worker sample counts and per-estimator wall-time histograms.
+	Obs *obs.Observer
 }
 
 func (e Estimator) samples() int {
@@ -49,11 +55,24 @@ func (e Estimator) rngFor(i int) *rand.Rand {
 	return rand.New(rand.NewPCG(e.Seed, uint64(i)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d))
 }
 
+// timeOp records one completed estimator operation: its wall time into a
+// per-operation histogram and an invocation counter. Call it deferred with
+// the operation's start time; with Obs nil it costs one pointer test.
+func (e Estimator) timeOp(name string, start time.Time) {
+	if e.Obs == nil {
+		return
+	}
+	reg := e.Obs.Registry()
+	reg.Counter("mc.ops." + name).Inc()
+	reg.Histogram("mc.seconds."+name, obs.TimeBuckets).ObserveDuration(time.Since(start))
+}
+
 // forEachSample runs fn(sampleIndex, world) for N sampled worlds of g,
 // fanning out over the configured workers. fn must be safe for concurrent
 // invocation on distinct indices.
 func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, w *uncertain.World)) {
 	n := e.samples()
+	reg := e.Obs.Registry()
 	workers := e.workers()
 	if workers > n {
 		workers = n
@@ -62,24 +81,34 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, w *uncertain
 		for i := 0; i < n; i++ {
 			fn(i, g.SampleWorld(e.rngFor(i)))
 		}
+		reg.Counter("mc.worlds_sampled").Add(int64(n))
+		if reg != nil {
+			reg.Counter("mc.worker.00.samples").Add(int64(n))
+		}
 		return
 	}
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var drawn int64
 			for i := range next {
 				fn(i, g.SampleWorld(e.rngFor(i)))
+				drawn++
 			}
-		}()
+			if reg != nil {
+				reg.Counter(fmt.Sprintf("mc.worker.%02d.samples", w)).Add(drawn)
+			}
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	reg.Counter("mc.worlds_sampled").Add(int64(n))
 }
 
 // SampleLabels draws N worlds and returns their component-label vectors:
@@ -95,6 +124,7 @@ func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
 // ExpectedConnectedPairs estimates E[cc(G)]: the expected number of
 // connected unordered vertex pairs.
 func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
+	defer e.timeOp("ExpectedConnectedPairs", time.Now())
 	n := e.samples()
 	counts := make([]int64, n)
 	e.forEachSample(g, func(i int, w *uncertain.World) {
@@ -110,6 +140,7 @@ func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 // PairReliability estimates R_{u,v}(G) (Definition 1): the probability that
 // u and v are connected.
 func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) float64 {
+	defer e.timeOp("PairReliability", time.Now())
 	n := e.samples()
 	hits := make([]int8, n)
 	e.forEachSample(g, func(i int, w *uncertain.World) {
@@ -127,6 +158,7 @@ func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) fl
 // ReliabilityVector estimates R_{src,v} for every v against a single
 // source; handy for k-nearest-neighbor style queries (cf. [30]).
 func (e Estimator) ReliabilityVector(g *uncertain.Graph, src uncertain.NodeID) []float64 {
+	defer e.timeOp("ReliabilityVector", time.Now())
 	n := e.samples()
 	labels := e.SampleLabels(g)
 	out := make([]float64, g.NumNodes())

@@ -1,6 +1,8 @@
 package reliability
 
 import (
+	"time"
+
 	"chameleon/internal/uncertain"
 )
 
@@ -21,6 +23,7 @@ import (
 // or 1, or extreme probabilities at small N) fall back to explicit
 // conditional sampling for the missing side.
 func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
+	defer e.timeOp("EdgeRelevance", time.Now())
 	n := e.samples()
 	m := g.NumEdges()
 

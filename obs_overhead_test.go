@@ -1,0 +1,75 @@
+package chameleon
+
+import (
+	"os"
+	"testing"
+
+	"chameleon/internal/core"
+	"chameleon/internal/obs"
+	"chameleon/internal/reliability"
+)
+
+// TestObsOverheadGuard enforces the instrumentation budget: with
+// observability off (nil observer), the instrumented hot paths must stay
+// within 2% of the same paths running with a live observer — i.e. the
+// no-op recorder is genuinely free and all cost lives behind the observer.
+//
+// Wall-clock comparisons are noisy on shared machines, so the guard is
+// opt-in: set OBS_OVERHEAD_GUARD=1 (scripts/check.sh documents it). Each
+// side takes the best of several rounds to squeeze out scheduler noise.
+func TestObsOverheadGuard(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GUARD") == "" {
+		t.Skip("set OBS_OVERHEAD_GUARD=1 to run the wall-clock overhead guard")
+	}
+	cfg := benchConfig()
+	g, err := cfg.BuildDataset(cfg.Datasets()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	best := func(run func(b *testing.B)) float64 {
+		const rounds = 5
+		min := 0.0
+		for r := 0; r < rounds; r++ {
+			res := testing.Benchmark(run)
+			ns := float64(res.NsPerOp())
+			if min == 0 || ns < min {
+				min = ns
+			}
+		}
+		return min
+	}
+
+	cases := []struct {
+		name string
+		run  func(o *obs.Observer) func(b *testing.B)
+	}{
+		{"core.Anonymize", func(o *obs.Observer) func(b *testing.B) {
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Anonymize(g, core.Params{K: 8, Epsilon: 0.02, Samples: 100, Seed: 42, Obs: o}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"reliability.EdgeRelevance", func(o *obs.Observer) func(b *testing.B) {
+			return func(b *testing.B) {
+				est := reliability.Estimator{Samples: 150, Seed: 1, Obs: o}
+				for i := 0; i < b.N; i++ {
+					est.EdgeRelevance(g)
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		off := best(c.run(nil))
+		on := best(c.run(obs.NewObserver()))
+		ratio := off / on
+		t.Logf("%s: off %.0f ns/op, on %.0f ns/op, off/on %.4f", c.name, off, on, ratio)
+		if ratio > 1.02 {
+			t.Errorf("%s: disabled observability is %.1f%% slower than enabled — the no-op path regressed",
+				c.name, (ratio-1)*100)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI gate: vet, formatting, the full test suite under the race detector,
+# and a benchmark pass over the instrumented hot paths whose results land
+# in BENCH_obs.json so successive PRs leave a perf trajectory.
+#
+# Environment knobs:
+#   BENCHTIME          go test -benchtime value for the perf pass (default 1s)
+#   OBS_OVERHEAD_GUARD set to 1 to also enforce the <=2% observability
+#                      overhead budget (wall-clock sensitive; off by default)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== benchmarks (instrumented hot paths) =="
+benchtime="${BENCHTIME:-1s}"
+bench_out=$(go test -run '^$' \
+    -bench 'BenchmarkObsOverhead|BenchmarkAnonymizeRSME|BenchmarkEdgeRelevance$|BenchmarkSampleWorld|BenchmarkConnectedPairs|BenchmarkObfuscationCheck|BenchmarkDiscrepancy' \
+    -benchtime "$benchtime" .)
+echo "$bench_out"
+# go bench output lines look like "BenchmarkName-8  <iters>  <ns> ns/op";
+# strip the GOMAXPROCS suffix and convert to a JSON array.
+echo "$bench_out" | awk '
+    BEGIN { print "[" }
+    $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (n++) printf(",\n")
+        printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3)
+    }
+    END { if (n) printf("\n"); print "]" }
+' > BENCH_obs.json
+echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) entries)"
+
+echo "check.sh: all gates passed"
