@@ -249,6 +249,37 @@ func BenchmarkConnectedPairs(b *testing.B) {
 	}
 }
 
+// BenchmarkWorldSamplerInto measures the allocation-free world-drawing
+// kernel (threshold compare per uncertain edge, word-blocked bit stores);
+// allocs/op must be 0 — the steady state reuses the world's bitset.
+func BenchmarkWorldSamplerInto(b *testing.B) {
+	g := benchGraph(b)
+	s := g.Sampler()
+	var w uncertain.World
+	var pcg rand.PCG
+	pcg.Seed(1, 1)
+	s.SampleInto(&w, &pcg) // grow the reused bitset
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pcg.Seed(1, uint64(i))
+		s.SampleInto(&w, &pcg)
+	}
+}
+
+// BenchmarkComponentsInto measures the fused union-find/pair-count kernel
+// over a recycled DSU; allocs/op must be 0 on the steady state.
+func BenchmarkComponentsInto(b *testing.B) {
+	g := benchGraph(b)
+	w := g.SampleWorld(rand.New(rand.NewPCG(1, 1)))
+	d, _ := w.ComponentsPairsInto(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ = w.ComponentsPairsInto(d)
+	}
+}
+
 func BenchmarkObfuscationCheck(b *testing.B) {
 	g := benchGraph(b)
 	prop := privacy.DegreeProperty(g)
@@ -269,7 +300,35 @@ func BenchmarkEdgeRelevance(b *testing.B) {
 	}
 }
 
+// BenchmarkDiscrepancy measures one candidate evaluation as the sweep and
+// the σ-search perform it: the original graph's sampled labels are held in
+// the shared label cache (computed once per sweep), while the candidate is
+// a fresh graph each time — modeled by bumping h's version so its cached
+// labeling is stale. The per-op cost is therefore sampling the candidate's
+// worlds plus the pair scan, which is exactly the marginal cost of one
+// RunCell evaluation in cmd/experiments.
 func BenchmarkDiscrepancy(b *testing.B) {
+	g := benchGraph(b)
+	h := core.PerturbAll(g, true, 0.2, 0.01, 5)
+	p0 := h.Edge(0).P
+	est := reliability.Estimator{Samples: 150, Seed: 1, Cache: reliability.NewLabelCache()}
+	if _, err := est.SampledPairDiscrepancy(g, h, reliability.PairSample{Pairs: 1000, Seed: 2}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.SetProb(0, p0); err != nil { // next candidate: invalidate h's labeling
+			b.Fatal(err)
+		}
+		if _, err := est.SampledPairDiscrepancy(g, h, reliability.PairSample{Pairs: 1000, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscrepancyUncached is the cold-path variant: both graphs
+// sampled and labeled from scratch every call, no cache attached.
+func BenchmarkDiscrepancyUncached(b *testing.B) {
 	g := benchGraph(b)
 	h := core.PerturbAll(g, true, 0.2, 0.01, 5)
 	est := reliability.Estimator{Samples: 150, Seed: 1}

@@ -270,7 +270,9 @@ func EvaluateUtility(orig, pub *Graph, o UtilityOptions) (UtilityReport, error) 
 	if o.MetricSamples <= 0 {
 		o.MetricSamples = 50
 	}
-	est := reliability.Estimator{Samples: o.Samples, Seed: o.Seed, Workers: o.Workers}
+	// The per-call label cache lets the discrepancy estimate and its
+	// normalization term share one sampling pass over orig.
+	est := reliability.Estimator{Samples: o.Samples, Seed: o.Seed, Workers: o.Workers, Cache: reliability.NewLabelCache()}
 	rel, err := est.RelativeDiscrepancy(orig, pub, reliability.PairSample{Pairs: o.Pairs, Seed: o.Seed + 1})
 	if err != nil {
 		return UtilityReport{}, err

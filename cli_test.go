@@ -92,6 +92,23 @@ func TestCLIPipeline(t *testing.T) {
 	if snap.Counters["mc.worlds_sampled"] <= 0 {
 		t.Fatalf("-stats snapshot missing MC sampling counters: %v", snap.Counters)
 	}
+	// Per-worker sample-balance counters: the chunked scheduler must account
+	// for every drawn world, so the mc.worker.* counters sum exactly to
+	// mc.worlds_sampled (both are only incremented by forEachSample).
+	var workerSum int64
+	workerCounters := 0
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "mc.worker.") {
+			workerSum += v
+			workerCounters++
+		}
+	}
+	if workerCounters == 0 {
+		t.Fatalf("-stats snapshot missing per-worker sample counters: %v", snap.Counters)
+	}
+	if got := snap.Counters["mc.worlds_sampled"]; workerSum != got {
+		t.Fatalf("per-worker samples sum to %d, worlds_sampled says %d", workerSum, got)
+	}
 	if snap.Counters["core.genobf_calls"] <= 0 || snap.Counters["core.genobf_attempts"] <= 0 {
 		t.Fatalf("-stats snapshot missing genobf counters: %v", snap.Counters)
 	}

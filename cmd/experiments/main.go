@@ -173,7 +173,7 @@ func runAblations(cfg exp.Config, out *os.File) {
 	for _, m := range sizes {
 		g, err := exp.ERRCostGraph(m, cfg.Seed)
 		fail(err)
-		rows = append(rows, exp.ERRCost(g, samples, cfg.Seed))
+		rows = append(rows, exp.ERRCost(g, samples, cfg.Seed, cfg.Workers))
 	}
 	exp.WriteERRCost(out, rows)
 	fmt.Fprintln(out)
@@ -201,7 +201,7 @@ func runAblations(cfg exp.Config, out *os.File) {
 		budgets = []int{10, 100, 500}
 		reps = 6
 	}
-	conv := exp.ConvergenceStudy(g, budgets, reps, cfg.Seed)
+	conv := exp.ConvergenceStudy(g, budgets, reps, cfg.Seed, cfg.Workers)
 	exp.WriteConvergence(out, conv)
 	fmt.Fprintln(out)
 

@@ -114,7 +114,7 @@ func newSearchState(g *uncertain.Graph, p Params) (*searchState, error) {
 
 	var vrr []float64
 	if p.Variant.reliabilitySensitive() {
-		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers, Obs: p.Obs}
+		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers, Obs: p.Obs, Cache: p.Cache}
 		edgeRel := est.EdgeRelevance(g)
 		vrr = reliability.NormalizeToUnit(reliability.VertexRelevance(g, edgeRel))
 	} else {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"chameleon/internal/obs"
+	"chameleon/internal/reliability"
 	"chameleon/internal/uncertain"
 )
 
@@ -85,6 +86,13 @@ type Params struct {
 	Workers int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Cache, when non-nil, is handed to the run's reliability estimators so
+	// sampled component labelings survive across calls. Callers evaluating
+	// utility after the run (sweep cells, the ugstat pipeline) should pass
+	// the same cache to their evaluation estimator: the original graph is
+	// then sampled and labeled once for the whole search-plus-evaluation
+	// sequence instead of once per estimator call.
+	Cache *reliability.LabelCache
 
 	// Property overrides the adversary's per-vertex auxiliary knowledge
 	// (Definition 3's vertex property P). Empty means the paper's choice:

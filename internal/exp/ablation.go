@@ -35,9 +35,10 @@ func ERRCostGraph(m int, seed uint64) (*uncertain.Graph, error) {
 	return gen.ErdosRenyi(n, m, gen.UniformProbs(0.1, 0.9), rand.New(rand.NewPCG(seed, 0xe44)))
 }
 
-// ERRCost measures both estimators on g with the given sample budget.
-func ERRCost(g *uncertain.Graph, samples int, seed uint64) ERRCostRow {
-	est := reliability.Estimator{Samples: samples, Seed: seed}
+// ERRCost measures both estimators on g with the given sample budget,
+// sampling with the given parallelism (0 = GOMAXPROCS).
+func ERRCost(g *uncertain.Graph, samples int, seed uint64, workers int) ERRCostRow {
+	est := reliability.Estimator{Samples: samples, Seed: seed, Workers: workers}
 	start := time.Now()
 	est.EdgeRelevance(g)
 	reuse := time.Since(start)

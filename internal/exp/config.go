@@ -9,6 +9,7 @@ import (
 
 	"chameleon/internal/gen"
 	"chameleon/internal/obs"
+	"chameleon/internal/reliability"
 	"chameleon/internal/uncertain"
 )
 
@@ -36,9 +37,19 @@ type Config struct {
 	// Obs, when non-nil, collects per-sweep-cell trace spans, Monte Carlo
 	// sampling metrics and structured progress logs for the whole run.
 	Obs *obs.Observer
+
+	// cache memoizes sampled component labelings across the estimator calls
+	// of one experiment (installed by withDefaults, so every exported entry
+	// point gets one). The original graph of a sweep is re-labeled for every
+	// (method, k) cell without it; with it the labeling is computed once per
+	// estimator configuration and every later discrepancy call is a lookup.
+	cache *reliability.LabelCache
 }
 
 func (c Config) withDefaults() Config {
+	if c.cache == nil {
+		c.cache = reliability.NewLabelCache()
+	}
 	if c.Samples <= 0 {
 		if c.Quick {
 			c.Samples = 200

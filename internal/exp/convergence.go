@@ -23,8 +23,9 @@ type ConvergenceRow struct {
 // ConvergenceStudy validates the paper's sampling heuristic ("1000
 // samples usually suffice to achieve accuracy convergence" [30]): it
 // repeats the E[cc] estimation `reps` times at each budget and reports
-// the estimator spread, which must shrink like 1/sqrt(N).
-func ConvergenceStudy(g *uncertain.Graph, budgets []int, reps int, seed uint64) []ConvergenceRow {
+// the estimator spread, which must shrink like 1/sqrt(N). Sampling runs
+// with the given parallelism (0 = GOMAXPROCS).
+func ConvergenceStudy(g *uncertain.Graph, budgets []int, reps int, seed uint64, workers int) []ConvergenceRow {
 	if len(budgets) == 0 {
 		budgets = []int{10, 100, 1000}
 	}
@@ -35,7 +36,7 @@ func ConvergenceStudy(g *uncertain.Graph, budgets []int, reps int, seed uint64) 
 	for _, n := range budgets {
 		estimates := make([]float64, reps)
 		for r := 0; r < reps; r++ {
-			est := reliability.Estimator{Samples: n, Seed: seed + uint64(r)*1000003}
+			est := reliability.Estimator{Samples: n, Seed: seed + uint64(r)*1000003, Workers: workers}
 			estimates[r] = est.ExpectedConnectedPairs(g)
 		}
 		var mean float64

@@ -240,7 +240,7 @@ func TestERRCostGraphAndCost(t *testing.T) {
 	if g.NumEdges() != 80 {
 		t.Fatalf("edges = %d, want 80", g.NumEdges())
 	}
-	row := ERRCost(g, 30, 1)
+	row := ERRCost(g, 30, 1, 1)
 	if row.Edges != 80 || row.Samples != 30 {
 		t.Fatalf("row = %+v", row)
 	}

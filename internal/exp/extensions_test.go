@@ -111,7 +111,7 @@ func TestConvergenceStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := ConvergenceStudy(g, []int{20, 200, 2000}, 8, 3)
+	rows := ConvergenceStudy(g, []int{20, 200, 2000}, 8, 3, 2)
 	if len(rows) != 3 {
 		t.Fatalf("want 3 rows, got %d", len(rows))
 	}
@@ -139,7 +139,7 @@ func TestConvergenceStudyDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := ConvergenceStudy(g, nil, 0, 1)
+	rows := ConvergenceStudy(g, nil, 0, 1, 1)
 	if len(rows) != 3 || rows[0].Samples != 10 || rows[2].Samples != 1000 {
 		t.Fatalf("default budgets wrong: %+v", rows)
 	}

@@ -127,6 +127,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		Seed:    c.Seed ^ hashName(method) ^ uint64(paperK),
 		Workers: c.Workers,
 		Obs:     c.Obs,
+		Cache:   c.cache,
 		// The top of each k sweep sits near the feasibility edge at this
 		// graph scale; extra trials and a wider sigma range keep the
 		// randomized search from flaking there.
@@ -150,7 +151,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 	evalStart := time.Now()
 	eval := cell.StartChild("evaluate")
 	pub := res.Graph
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
 	rel, err := est.RelativeDiscrepancy(g, pub, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
 	if err != nil {
 		run.Failed = true
@@ -194,6 +195,7 @@ func (c Config) Sweep(d gen.Dataset, methods []string) ([]Run, Baseline, error) 
 
 // SweepAll runs the full evaluation grid over every dataset.
 func (c Config) SweepAll(methods []string) ([]Run, []Baseline, error) {
+	c = c.withDefaults() // one shared label cache across all datasets
 	var allRuns []Run
 	var bases []Baseline
 	for _, d := range c.Datasets() {
@@ -213,6 +215,6 @@ func (c Config) SweepAll(methods []string) ([]Run, []Baseline, error) {
 func (c Config) ExtractionOnlyDiscrepancy(g *uncertain.Graph) (float64, error) {
 	c = c.withDefaults()
 	rep := repan.Representative(g)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Cache: c.cache}
 	return est.RelativeDiscrepancy(g, rep, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
 }

@@ -8,9 +8,38 @@ import (
 	"chameleon/internal/uncertain"
 )
 
+// pairAbsDiff returns |#connected(g) - #connected(h)| * nInv for one
+// vertex pair, streaming the two vertices' contiguous label rows. Counts
+// are integers, so the result is independent of accumulation order and
+// matches the world-major scan it replaced exactly (nInv is the same
+// precomputed reciprocal of N the old scan multiplied by).
+func pairAbsDiff(lg, lh *labelSet, u, v int, nInv float64) float64 {
+	gu, gv := lg.row(u), lg.row(v)
+	hu, hv := lh.row(u), lh.row(v)
+	var cg, ch int
+	for s := range gu {
+		if gu[s] == gv[s] {
+			cg++
+		}
+		if hu[s] == hv[s] {
+			ch++
+		}
+	}
+	d := float64(cg-ch) * nInv
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
 // Discrepancy estimates the reliability discrepancy Delta (Definition 2)
 // between the original graph g and the perturbed graph h over ALL vertex
 // pairs: sum_{u<v} |R_uv(g) - R_uv(h)|.
+//
+// Labels are held vertex-major (one contiguous row of N world labels per
+// vertex), so the O(|V|^2) pair loop streams two rows per graph instead of
+// striding across N separate label vectors. With a Cache attached, g's
+// labeling is computed once and shared across every candidate h.
 //
 // Cost is O(N * |V|^2) label comparisons; use SampledPairDiscrepancy for
 // large graphs.
@@ -19,29 +48,18 @@ func (e Estimator) Discrepancy(g, h *uncertain.Graph) (float64, error) {
 	if g.NumNodes() != h.NumNodes() {
 		return 0, fmt.Errorf("reliability: vertex count mismatch %d vs %d", g.NumNodes(), h.NumNodes())
 	}
-	lg := e.SampleLabels(g)
-	lh := e.SampleLabels(h)
+	lg := e.sampleLabelsT(g)
+	lh := e.sampleLabelsT(h)
 	n := g.NumNodes()
-	nInv := 1 / float64(len(lg))
+	nInv := 1 / float64(lg.samples)
 	var delta float64
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			var cg, ch int
-			for i := range lg {
-				if lg[i][u] == lg[i][v] {
-					cg++
-				}
-				if lh[i][u] == lh[i][v] {
-					ch++
-				}
-			}
-			d := float64(cg-ch) * nInv
-			if d < 0 {
-				d = -d
-			}
-			delta += d
+			delta += pairAbsDiff(lg, lh, u, v, nInv)
 		}
 	}
+	e.releaseLabels(lg)
+	e.releaseLabels(lh)
 	return delta, nil
 }
 
@@ -82,33 +100,23 @@ func (e Estimator) SampledPairDiscrepancy(g, h *uncertain.Graph, ps PairSample) 
 		}
 		us[i], vs[i] = u, v
 	}
-	lg := e.SampleLabels(g)
-	lh := e.SampleLabels(h)
-	nInv := 1 / float64(len(lg))
+	lg := e.sampleLabelsT(g)
+	lh := e.sampleLabelsT(h)
+	nInv := 1 / float64(lg.samples)
 	var total float64
 	for i := 0; i < pairs; i++ {
-		u, v := us[i], vs[i]
-		var cg, ch int
-		for s := range lg {
-			if lg[s][u] == lg[s][v] {
-				cg++
-			}
-			if lh[s][u] == lh[s][v] {
-				ch++
-			}
-		}
-		d := float64(cg-ch) * nInv
-		if d < 0 {
-			d = -d
-		}
-		total += d
+		total += pairAbsDiff(lg, lh, us[i], vs[i], nInv)
 	}
+	e.releaseLabels(lg)
+	e.releaseLabels(lh)
 	return total / float64(pairs), nil
 }
 
 // RelativeDiscrepancy returns the sampled per-pair discrepancy normalized
 // by the original graph's mean pair reliability, giving the "ratio of
 // absolute difference against the original" reported in the evaluation.
+// With a Cache attached, the normalization term reuses the worlds the
+// discrepancy pass just sampled for g.
 func (e Estimator) RelativeDiscrepancy(g, h *uncertain.Graph, ps PairSample) (float64, error) {
 	avg, err := e.SampledPairDiscrepancy(g, h, ps)
 	if err != nil {

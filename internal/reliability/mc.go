@@ -10,15 +10,23 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chameleon/internal/obs"
 	"chameleon/internal/uncertain"
+	"chameleon/internal/unionfind"
 )
 
 // DefaultSamples is the Monte Carlo sample count the paper uses throughout
 // ("1000 usually suffices to achieve accuracy convergence" [30]).
 const DefaultSamples = 1000
+
+// sampleChunk is the unit of work handed to a worker: 64 consecutive
+// sample indices, matching one bitset word so chunk boundaries align with
+// word boundaries in any transposed layout, and coarse enough that the
+// atomic claim is negligible against the per-world sampling cost.
+const sampleChunk = 64
 
 // Estimator carries the Monte Carlo configuration shared by the
 // estimators in this package.
@@ -34,6 +42,15 @@ type Estimator struct {
 	// Obs, when non-nil, receives Monte Carlo metrics: worlds sampled,
 	// per-worker sample counts and per-estimator wall-time histograms.
 	Obs *obs.Observer
+	// Cache, when non-nil, memoizes sampled component labels across
+	// estimator calls, keyed by (graph identity, graph version, samples,
+	// seed, sampling mode). Safe to share between estimators.
+	Cache *LabelCache
+	// FastSampling switches world drawing to geometric-skip sampling of
+	// low-probability edge classes. Same world distribution, different
+	// world stream for a given seed: still deterministic, but estimates no
+	// longer replay bit-for-bit against the default sampler.
+	FastSampling bool
 }
 
 func (e Estimator) samples() int {
@@ -50,9 +67,17 @@ func (e Estimator) workers() int {
 	return e.Workers
 }
 
-// rngFor derives an independent deterministic RNG for sample i.
+// streamFor derives the PCG stream constant for sample i; with Seed it
+// fully determines the RNG state that draws world i.
+func (e Estimator) streamFor(i int) uint64 {
+	return uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+}
+
+// rngFor derives an independent deterministic RNG for sample i. The scratch
+// fast path reproduces the exact same state via pcg.Seed(e.Seed,
+// e.streamFor(i)) without the rand.Rand allocation.
 func (e Estimator) rngFor(i int) *rand.Rand {
-	return rand.New(rand.NewPCG(e.Seed, uint64(i)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d))
+	return rand.New(rand.NewPCG(e.Seed, e.streamFor(i)))
 }
 
 // timeOp records one completed estimator operation: its wall time into a
@@ -67,46 +92,121 @@ func (e Estimator) timeOp(name string, start time.Time) {
 	reg.Histogram("mc.seconds."+name, obs.TimeBuckets).ObserveDuration(time.Since(start))
 }
 
-// forEachSample runs fn(sampleIndex, world) for N sampled worlds of g,
-// fanning out over the configured workers. fn must be safe for concurrent
-// invocation on distinct indices.
-func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, w *uncertain.World)) {
+// scratch is one worker's reusable Monte Carlo state: the PCG that is
+// re-seeded per sample, the world the sampler fills in place, and the
+// union-find structure recycled across worlds. Pooled so steady-state
+// sampling performs zero allocations.
+type scratch struct {
+	pcg   rand.PCG
+	world uncertain.World
+	dsu   *unionfind.DSU
+}
+
+// components returns the component structure of the scratch's current
+// world, reusing the scratch's union-find storage.
+func (sc *scratch) components() *unionfind.DSU {
+	sc.dsu = sc.world.ComponentsInto(sc.dsu)
+	return sc.dsu
+}
+
+// componentsPairs additionally returns the world's connected-pair count,
+// computed incrementally inside the union loop.
+func (sc *scratch) componentsPairs() (*unionfind.DSU, int64) {
+	d, pairs := sc.world.ComponentsPairsInto(sc.dsu)
+	sc.dsu = d
+	return d, pairs
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// sampleFn selects the world-drawing kernel as a method expression (no
+// closure allocation). Call sites keep the returned variable
+// single-assignment: a reassigned variable captured by the worker
+// goroutines would be heap-allocated on every forEachSample call, even
+// down the serial path.
+func sampleFn(fast bool) func(*uncertain.WorldSampler, *uncertain.World, *rand.PCG) {
+	if fast {
+		return (*uncertain.WorldSampler).SampleIntoGeometric
+	}
+	return (*uncertain.WorldSampler).SampleInto
+}
+
+// workerNames pre-renders the per-worker counter names so the sampling
+// loop never formats strings.
+var workerNames = func() (names [64]string) {
+	for i := range names {
+		names[i] = fmt.Sprintf("mc.worker.%02d.samples", i)
+	}
+	return
+}()
+
+func workerName(w int) string {
+	if w < len(workerNames) {
+		return workerNames[w]
+	}
+	return fmt.Sprintf("mc.worker.%02d.samples", w)
+}
+
+// forEachSample runs fn(sampleIndex, scratch) for N sampled worlds of g,
+// fanning out over the configured workers. When fn is called, sc.world
+// holds world sampleIndex; fn may use sc.components() and must not retain
+// references into the scratch past its return. fn must be safe for
+// concurrent invocation on distinct indices.
+//
+// Work is handed out in chunks of sampleChunk consecutive indices claimed
+// off an atomic cursor, and each worker draws worlds into a pooled scratch,
+// so the steady state allocates nothing. Metrics go through the nil-safe
+// registry path: a nil Obs yields a nil registry whose instruments drop
+// updates, so no call site guards.
+func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)) {
 	n := e.samples()
 	reg := e.Obs.Registry()
+	sampler := g.Sampler()
+	sample := sampleFn(e.FastSampling)
 	workers := e.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		sc := scratchPool.Get().(*scratch)
 		for i := 0; i < n; i++ {
-			fn(i, g.SampleWorld(e.rngFor(i)))
+			sc.pcg.Seed(e.Seed, e.streamFor(i))
+			sample(sampler, &sc.world, &sc.pcg)
+			fn(i, sc)
 		}
+		scratchPool.Put(sc)
 		reg.Counter("mc.worlds_sampled").Add(int64(n))
-		if reg != nil {
-			reg.Counter("mc.worker.00.samples").Add(int64(n))
-		}
+		reg.Counter(workerName(0)).Add(int64(n))
 		return
 	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sc := scratchPool.Get().(*scratch)
 			var drawn int64
-			for i := range next {
-				fn(i, g.SampleWorld(e.rngFor(i)))
-				drawn++
+			for {
+				start := int(cursor.Add(sampleChunk)) - sampleChunk
+				if start >= n {
+					break
+				}
+				end := start + sampleChunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					sc.pcg.Seed(e.Seed, e.streamFor(i))
+					sample(sampler, &sc.world, &sc.pcg)
+					fn(i, sc)
+				}
+				drawn += int64(end - start)
 			}
-			if reg != nil {
-				reg.Counter(fmt.Sprintf("mc.worker.%02d.samples", w)).Add(drawn)
-			}
+			scratchPool.Put(sc)
+			reg.Counter(workerName(w)).Add(drawn)
 		}(w)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	reg.Counter("mc.worlds_sampled").Add(int64(n))
 }
@@ -115,8 +215,14 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, w *uncertain
 // labels[i][v] is the component representative of vertex v in world i.
 func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
 	labels := make([][]int32, e.samples())
-	e.forEachSample(g, func(i int, w *uncertain.World) {
-		labels[i] = w.ComponentLabels()
+	nv := g.NumNodes()
+	e.forEachSample(g, func(i int, sc *scratch) {
+		d := sc.components()
+		row := make([]int32, nv)
+		for v := range row {
+			row[v] = int32(d.Find(v))
+		}
+		labels[i] = row
 	})
 	return labels
 }
@@ -126,9 +232,16 @@ func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
 func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 	defer e.timeOp("ExpectedConnectedPairs", time.Now())
 	n := e.samples()
+	if ls := e.cachedLabels(g); ls != nil {
+		var total float64
+		for _, c := range ls.cc {
+			total += float64(c)
+		}
+		return total / float64(n)
+	}
 	counts := make([]int64, n)
-	e.forEachSample(g, func(i int, w *uncertain.World) {
-		counts[i] = w.ConnectedPairs()
+	e.forEachSample(g, func(i int, sc *scratch) {
+		_, counts[i] = sc.componentsPairs()
 	})
 	var total float64
 	for _, c := range counts {
@@ -143,8 +256,8 @@ func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) fl
 	defer e.timeOp("PairReliability", time.Now())
 	n := e.samples()
 	hits := make([]int8, n)
-	e.forEachSample(g, func(i int, w *uncertain.World) {
-		if w.Components().Connected(int(u), int(v)) {
+	e.forEachSample(g, func(i int, sc *scratch) {
+		if sc.components().Connected(int(u), int(v)) {
 			hits[i] = 1
 		}
 	})

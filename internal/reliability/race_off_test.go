@@ -1,0 +1,5 @@
+//go:build !race
+
+package reliability
+
+const raceEnabled = false

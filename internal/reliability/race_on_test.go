@@ -1,0 +1,8 @@
+//go:build race
+
+package reliability
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector's shadow-memory bookkeeping allocates, so allocation-count
+// assertions are meaningless under -race and are skipped.
+const raceEnabled = true

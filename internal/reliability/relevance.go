@@ -1,10 +1,38 @@
 package reliability
 
 import (
+	"math/bits"
+	"sync"
 	"time"
 
 	"chameleon/internal/uncertain"
 )
+
+// relArena holds EdgeRelevance's per-call sampling state: every world's
+// packed presence bitset (N rows of `words` uint64s) and connected-pair
+// count. Pooled across calls so the σ-search, which evaluates hundreds of
+// candidates, reuses one allocation.
+type relArena struct {
+	masks []uint64
+	cc    []float64
+}
+
+var relArenaPool = sync.Pool{New: func() any { return new(relArena) }}
+
+// grow resizes the arena for n worlds of `words` mask words each, reusing
+// capacity. Rows are fully overwritten by the sampling pass, so no zeroing.
+func (ar *relArena) grow(n, words int) {
+	if need := n * words; cap(ar.masks) < need {
+		ar.masks = make([]uint64, need)
+	} else {
+		ar.masks = ar.masks[:need]
+	}
+	if cap(ar.cc) < n {
+		ar.cc = make([]float64, n)
+	} else {
+		ar.cc = ar.cc[:n]
+	}
+}
 
 // EdgeRelevance estimates the edge reliability relevance ERR^e for every
 // edge (Definition 5, aggregated form) using the sample-reuse estimator of
@@ -19,6 +47,12 @@ import (
 // O(N * alpha(|V|) * |E|) instead of the naive O(|E| * N * alpha(|V|) * |E|)
 // (Lemma 3 vs Lemma 2).
 //
+// The grouping pass is word-parallel: per world it iterates the set bits
+// of the packed presence mask (and of its complement) instead of testing
+// one bool per edge. Worlds are accumulated in ascending sample order per
+// edge, so the floating-point sums — and hence the estimates — are
+// bit-identical to a sequential per-edge scan.
+//
 // Edges whose presence bit never varies across the samples (probability 0
 // or 1, or extreme probabilities at small N) fall back to explicit
 // conditional sampling for the missing side.
@@ -26,32 +60,48 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 	defer e.timeOp("EdgeRelevance", time.Now())
 	n := e.samples()
 	m := g.NumEdges()
+	words := (m + 63) / 64
 
-	type sampleResult struct {
-		cc   float64
-		mask []bool
-	}
-	results := make([]sampleResult, n)
-	e.forEachSample(g, func(i int, w *uncertain.World) {
-		results[i] = sampleResult{
-			cc:   float64(w.ConnectedPairs()),
-			mask: append([]bool(nil), w.PresenceMask()...),
-		}
+	ar := relArenaPool.Get().(*relArena)
+	ar.grow(n, words)
+	e.forEachSample(g, func(i int, sc *scratch) {
+		_, pairs := sc.componentsPairs()
+		ar.cc[i] = float64(pairs)
+		copy(ar.masks[i*words:(i+1)*words], sc.world.Bits())
 	})
+
+	// tailMask zeroes the complement's phantom bits past edge m-1.
+	tailMask := ^uint64(0)
+	if r := m & 63; r != 0 {
+		tailMask = 1<<uint(r) - 1
+	}
 
 	ccPresent := make([]float64, m)
 	ccAbsent := make([]float64, m)
 	nPresent := make([]int, m)
-	for _, r := range results {
-		for i := 0; i < m; i++ {
-			if r.mask[i] {
-				ccPresent[i] += r.cc
-				nPresent[i]++
-			} else {
-				ccAbsent[i] += r.cc
+	for s := 0; s < n; s++ {
+		cc := ar.cc[s]
+		row := ar.masks[s*words : (s+1)*words]
+		for wi, word := range row {
+			base := wi << 6
+			inv := ^word
+			if wi == words-1 {
+				inv &= tailMask
+			}
+			for word != 0 {
+				j := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				ccPresent[j] += cc
+				nPresent[j]++
+			}
+			for inv != 0 {
+				j := base + bits.TrailingZeros64(inv)
+				inv &= inv - 1
+				ccAbsent[j] += cc
 			}
 		}
 	}
+	relArenaPool.Put(ar)
 
 	err := make([]float64, m)
 	for i := 0; i < m; i++ {
@@ -80,20 +130,31 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 
 // conditionalCC estimates E[cc] with edge i forced to the given presence,
 // using a reduced sample budget (this path only triggers for edges with
-// probability 0 or 1).
+// probability 0 or 1). It samples into a pooled scratch and pins the edge
+// bit in place instead of copying the mask.
+//
+// The 1_000_000+i seed offset is deliberate, not an accident of history:
+// every edge's conditional estimate draws the SAME auxiliary world stream
+// (offset past the main sample indices), i.e. common random numbers across
+// edges, so the conditional means differ only through the pinned edge and
+// compare without independent sampling noise.
 func (e Estimator) conditionalCC(g *uncertain.Graph, edge int, present bool) float64 {
 	n := e.samples() / 4
 	if n < 32 {
 		n = 32
 	}
+	sampler := g.Sampler()
+	sample := sampleFn(e.FastSampling)
+	sc := scratchPool.Get().(*scratch)
 	var total float64
 	for i := 0; i < n; i++ {
-		rng := e.rngFor(1_000_000 + i)
-		w := g.SampleWorld(rng)
-		mask := append([]bool(nil), w.PresenceMask()...)
-		mask[edge] = present
-		total += float64(g.WorldFromMask(mask).ConnectedPairs())
+		sc.pcg.Seed(e.Seed, e.streamFor(1_000_000+i))
+		sample(sampler, &sc.world, &sc.pcg)
+		sc.world.SetPresence(edge, present)
+		_, pairs := sc.componentsPairs()
+		total += float64(pairs)
 	}
+	scratchPool.Put(sc)
 	return total / float64(n)
 }
 

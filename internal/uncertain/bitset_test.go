@@ -1,0 +1,100 @@
+package uncertain
+
+import "testing"
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if len(b) != 3 {
+		t.Fatalf("130 bits need 3 words, got %d", len(b))
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 5 {
+		t.Fatal("Clear(64) failed")
+	}
+	var seen []int
+	b.ForEachSet(func(i int) { seen = append(seen, i) })
+	want := []int{0, 63, 127, 128, 129}
+	if len(seen) != len(want) {
+		t.Fatalf("ForEachSet visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ForEachSet visited %v, want %v (ascending)", seen, want)
+		}
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+// FuzzBitsetMask hardens the bitset<->bool-mask conversion the world
+// engine is built on: any mask must round-trip exactly, and the packed
+// view must agree bit for bit with the bool view.
+func FuzzBitsetMask(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff}, 8)
+	f.Add([]byte{0x00, 0xff, 0x5a}, 20)
+	f.Add([]byte{0x80}, 1)
+	f.Add([]byte{0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0x01}, 65)
+	f.Add([]byte{0x01, 0x02, 0x03}, 17)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 8*len(data) || n > 1<<16 {
+			return
+		}
+		mask := make([]bool, n)
+		ones := 0
+		for i := range mask {
+			mask[i] = data[i/8]&(1<<(i%8)) != 0
+			if mask[i] {
+				ones++
+			}
+		}
+		b := BitsetFromMask(mask)
+		if len(b) != (n+63)/64 {
+			t.Fatalf("packed %d bits into %d words", n, len(b))
+		}
+		if b.Count() != ones {
+			t.Fatalf("Count = %d, mask has %d ones", b.Count(), ones)
+		}
+		for i := range mask {
+			if b.Get(i) != mask[i] {
+				t.Fatalf("bit %d: packed %v, mask %v", i, b.Get(i), mask[i])
+			}
+		}
+		back := b.Mask(n)
+		for i := range mask {
+			if back[i] != mask[i] {
+				t.Fatalf("round trip changed bit %d", i)
+			}
+		}
+		// ForEachSet must visit exactly the set indices, ascending.
+		prev := -1
+		visited := 0
+		b.ForEachSet(func(i int) {
+			if i <= prev {
+				t.Fatalf("ForEachSet out of order: %d after %d", i, prev)
+			}
+			if i >= n || !mask[i] {
+				t.Fatalf("ForEachSet visited unset/out-of-range bit %d", i)
+			}
+			prev = i
+			visited++
+		})
+		if visited != ones {
+			t.Fatalf("ForEachSet visited %d bits, want %d", visited, ones)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a vertex. Vertices are dense integers in [0, NumNodes).
@@ -37,6 +38,16 @@ type Graph struct {
 	edges []Edge
 	adj   [][]halfEdge
 	index map[[2]NodeID]int32 // canonical (u<v) pair -> edge index
+	uv    []uint64            // packed endpoints (u<<32|v) parallel to
+	// edges, one load per edge in the bitset union kernel
+
+	// version counts structural mutations (AddEdge, SetProb). It
+	// invalidates derived snapshots: the cached WorldSampler below and any
+	// external caches keyed by (graph, version), e.g. reliability label
+	// caches. Mutation is not safe concurrently with reads; the atomic on
+	// sampler only covers concurrent readers of an unchanging graph.
+	version uint64
+	sampler atomic.Pointer[WorldSampler]
 }
 
 // Common construction and validation errors.
@@ -94,9 +105,11 @@ func (g *Graph) AddEdge(u, v NodeID, p float64) error {
 	}
 	idx := int32(len(g.edges))
 	g.edges = append(g.edges, Edge{U: key[0], V: key[1], P: p})
+	g.uv = append(g.uv, uint64(key[0])<<32|uint64(key[1]))
 	g.adj[key[0]] = append(g.adj[key[0]], halfEdge{To: key[1], Edge: idx})
 	g.adj[key[1]] = append(g.adj[key[1]], halfEdge{To: key[0], Edge: idx})
 	g.index[key] = idx
+	g.version++
 	return nil
 }
 
@@ -154,6 +167,7 @@ func (g *Graph) SetProb(i int, p float64) error {
 		return fmt.Errorf("%w: %v", ErrBadProbability, p)
 	}
 	g.edges[i].P = p
+	g.version++
 	return nil
 }
 
@@ -195,17 +209,25 @@ func (g *Graph) IncidentProbs(v NodeID, buf []float64) []float64 {
 	return buf
 }
 
-// Clone returns a deep copy of g.
+// Version returns the mutation counter: it changes on every AddEdge and
+// SetProb, so (graph pointer, version) identifies one immutable snapshot
+// of the edge set and probabilities. Caches of derived data key on it.
+func (g *Graph) Version() uint64 { return g.version }
+
+// Clone returns a deep copy of g. The clone starts with a fresh derived
+// state (no cached sampler) and its own version counter.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	c.edges = make([]Edge, len(g.edges))
 	copy(c.edges, g.edges)
+	c.uv = append([]uint64(nil), g.uv...)
 	for v := range g.adj {
 		c.adj[v] = append([]halfEdge(nil), g.adj[v]...)
 	}
 	for k, i := range g.index {
 		c.index[k] = i
 	}
+	c.version = g.version
 	return c
 }
 

@@ -1,0 +1,200 @@
+package uncertain
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// mask53 extracts the low 53 bits of a PCG draw — exactly the bits
+// math/rand/v2 turns into a Float64 (float64(u<<11>>11) / 2^53).
+const mask53 = 1<<53 - 1
+
+// threshAlways marks an edge with p >= 1: included without consuming
+// randomness. A threshold of 0 marks p <= 0: excluded without consuming
+// randomness. Everything in between is a draw.
+const threshAlways = ^uint64(0)
+
+// geomCut and geomMinRun bound when the geometric-skip path kicks in: a
+// probability class is skip-sampled only when it is rare enough (few
+// successes per scan) and populous enough (the per-class setup amortizes).
+const (
+	geomCut    = 0.25
+	geomMinRun = 16
+)
+
+// skipClass is one probability class of the geometric-skip sampler: edges
+// sharing the same low probability p, visited by jumping geometric gaps
+// instead of flipping a coin per edge.
+type skipClass struct {
+	invLog1p float64 // 1 / ln(1-p)
+	idx      []int32 // edge indices, ascending
+}
+
+// WorldSampler is the allocation-free possible-world sampler for one graph
+// snapshot. It precomputes, per edge, the integer threshold t = ceil(p*2^53)
+// such that
+//
+//	rand.Float64() < p  ⇔  pcg.Uint64() & mask53 < t
+//
+// so SampleInto draws the bit-for-bit identical world to Graph.SampleWorld
+// from the same PCG state, without the rand.Rand wrapper's interface
+// dispatch, float division, or per-world allocations.
+//
+// A sampler is an immutable snapshot of the graph's probabilities: it is
+// safe for concurrent use by many workers, and it is invalidated (rebuilt
+// by Graph.Sampler) when the graph's edge set or probabilities change.
+type WorldSampler struct {
+	g       *Graph
+	version uint64
+	thresh  []uint64 // per edge: 0 = never, threshAlways = certain, else draw
+
+	// Geometric-skip layout (SampleIntoGeometric): low-probability classes
+	// are skip-sampled, everything else falls back to per-edge draws.
+	classes []skipClass
+	dense   []int32 // edges outside every skip class, ascending
+}
+
+// newWorldSampler builds the sampler snapshot for g's current state.
+func newWorldSampler(g *Graph) *WorldSampler {
+	s := &WorldSampler{g: g, version: g.version, thresh: make([]uint64, len(g.edges))}
+	counts := make(map[float64]int)
+	for i, e := range g.edges {
+		switch {
+		case e.P >= 1:
+			s.thresh[i] = threshAlways
+		case e.P <= 0:
+			s.thresh[i] = 0
+		default:
+			// p*2^53 is an exact power-of-two scaling, so the ceiling is the
+			// exact integer threshold for the Float64 comparison above.
+			s.thresh[i] = uint64(math.Ceil(e.P * (1 << 53)))
+			if e.P < geomCut {
+				counts[e.P]++
+			}
+		}
+	}
+	classIdx := make(map[float64]int)
+	for i, e := range g.edges {
+		if e.P > 0 && e.P < geomCut && counts[e.P] >= geomMinRun {
+			ci, ok := classIdx[e.P]
+			if !ok {
+				ci = len(s.classes)
+				classIdx[e.P] = ci
+				s.classes = append(s.classes, skipClass{invLog1p: 1 / math.Log1p(-e.P)})
+			}
+			s.classes[ci].idx = append(s.classes[ci].idx, int32(i))
+		} else if s.thresh[i] != 0 {
+			s.dense = append(s.dense, int32(i))
+		}
+	}
+	return s
+}
+
+// NumEdges returns the edge count the sampler was built for.
+func (s *WorldSampler) NumEdges() int { return len(s.g.edges) }
+
+// SampleInto draws one possible world into w, reusing w's bitset storage.
+// The world drawn from a given PCG state is bit-for-bit identical to
+// Graph.SampleWorld with a rand.Rand over the same state: one draw per
+// edge with 0 < p < 1, in edge-index order. This is the determinism
+// contract every Monte Carlo estimator builds on.
+func (s *WorldSampler) SampleInto(w *World, pcg *rand.PCG) {
+	w.g = s.g
+	nE := len(s.thresh)
+	words := bitsetWords(nE)
+	if cap(w.bits) < words {
+		w.bits = make(Bitset, words)
+	} else {
+		w.bits = w.bits[:words]
+	}
+	thresh := s.thresh
+	m := 0
+	// Build each output word in a register and store it once, instead of a
+	// read-modify-write per set bit. A threshold of 0 (p <= 0) never draws;
+	// threshAlways (p >= 1) sets the bit without drawing.
+	for wi := 0; wi < words; wi++ {
+		base := wi << 6
+		end := base + 64
+		if end > nE {
+			end = nE
+		}
+		var word uint64
+		for k, t := range thresh[base:end] {
+			if t == threshAlways {
+				word |= 1 << uint(k)
+				continue
+			}
+			if t == 0 {
+				continue
+			}
+			// Branchless set: the comparison outcome is a coin flip, so a
+			// conditional bit-or beats a 50%-mispredicted branch.
+			var b uint64
+			if pcg.Uint64()&mask53 < t {
+				b = 1
+			}
+			word |= b << uint(k)
+		}
+		w.bits[wi] = word
+		m += bits.OnesCount64(word)
+	}
+	w.m = m
+}
+
+// SampleIntoGeometric draws one possible world into w using geometric-skip
+// sampling for low-probability edge classes: within a class of k edges
+// sharing probability p, the gap to the next present edge is geometric, so
+// the cost is O(k*p) draws instead of k. High-probability and certain
+// edges take the per-edge path.
+//
+// The result follows the same distribution as SampleInto but consumes the
+// PCG stream differently, so the drawn world differs for the same state:
+// deterministic per seed, but a different world stream. Estimators expose
+// this as an opt-in (Estimator.FastSampling) precisely because it trades
+// the cross-implementation replay contract for speed.
+func (s *WorldSampler) SampleIntoGeometric(w *World, pcg *rand.PCG) {
+	w.g = s.g
+	w.bits = w.bits.grow(len(s.g.edges))
+	m := 0
+	for _, i := range s.dense {
+		t := s.thresh[i]
+		if t == threshAlways {
+			w.bits.Set(int(i))
+			m++
+		} else if pcg.Uint64()&mask53 < t {
+			w.bits.Set(int(i))
+			m++
+		}
+	}
+	for ci := range s.classes {
+		c := &s.classes[ci]
+		pos := 0
+		for pos < len(c.idx) {
+			// u in (0,1]: the +1 offset keeps Log finite at the stream's 0.
+			u := (float64(pcg.Uint64()&mask53) + 1) * (1.0 / (1 << 53))
+			gap := math.Log(u) * c.invLog1p
+			if gap >= float64(len(c.idx)-pos) {
+				break
+			}
+			pos += int(gap)
+			w.bits.Set(int(c.idx[pos]))
+			m++
+			pos++
+		}
+	}
+	w.m = m
+}
+
+// Sampler returns the world sampler snapshot for g's current state,
+// building and caching it on first use and rebuilding it after any
+// AddEdge/SetProb. The returned sampler is immutable and safe for
+// concurrent use; callers must not mutate the graph while sampling.
+func (g *Graph) Sampler() *WorldSampler {
+	if s := g.sampler.Load(); s != nil && s.version == g.version {
+		return s
+	}
+	s := newWorldSampler(g)
+	g.sampler.Store(s)
+	return s
+}

@@ -1,0 +1,90 @@
+package unionfind
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestResetMatchesFresh: a recycled DSU must be indistinguishable from a
+// fresh one — same roots, sizes and set counts for the same union
+// sequence — since the Monte Carlo scratch arenas rely on Reset for their
+// determinism contract.
+func TestResetMatchesFresh(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewPCG(5, 5))
+	type edge struct{ x, y int }
+	var edges []edge
+	for i := 0; i < 80; i++ {
+		edges = append(edges, edge{rng.IntN(n), rng.IntN(n)})
+	}
+
+	recycled := New(n)
+	// Dirty the structure with an unrelated union sequence, then reset.
+	for i := 0; i < n-1; i++ {
+		recycled.Union(i, i+1)
+	}
+	recycled.Reset()
+
+	fresh := New(n)
+	for _, e := range edges {
+		recycled.Union(e.x, e.y)
+		fresh.Union(e.x, e.y)
+	}
+	if recycled.Sets() != fresh.Sets() {
+		t.Fatalf("recycled has %d sets, fresh %d", recycled.Sets(), fresh.Sets())
+	}
+	for v := 0; v < n; v++ {
+		if recycled.Find(v) != fresh.Find(v) {
+			t.Fatalf("vertex %d: recycled root %d, fresh root %d", v, recycled.Find(v), fresh.Find(v))
+		}
+		if recycled.SetSize(v) != fresh.SetSize(v) {
+			t.Fatalf("vertex %d: recycled size %d, fresh size %d", v, recycled.SetSize(v), fresh.SetSize(v))
+		}
+	}
+	if recycled.ConnectedPairs() != fresh.ConnectedPairs() {
+		t.Fatal("connected-pair counts diverge after reset")
+	}
+}
+
+// TestUnionBitsetEdgesMatchesUnion: the fused bitset kernel must produce
+// the same partition as the equivalent sequence of Union calls, and its
+// incremental pair count must equal ConnectedPairs.
+func TestUnionBitsetEdgesMatchesUnion(t *testing.T) {
+	const n = 100
+	rng := rand.New(rand.NewPCG(9, 9))
+	var uv []uint64
+	for i := 0; i < 160; i++ {
+		x, y := rng.IntN(n), rng.IntN(n)
+		uv = append(uv, uint64(uint32(x))<<32|uint64(uint32(y)))
+	}
+	words := make([]uint64, (len(uv)+63)/64)
+	for j := range uv {
+		if rng.IntN(2) == 1 {
+			words[j/64] |= 1 << (j % 64)
+		}
+	}
+
+	kernel := New(n)
+	pairs := kernel.UnionBitsetEdges(words, uv)
+
+	plain := New(n)
+	for j, p := range uv {
+		if words[j/64]&(1<<(j%64)) != 0 {
+			plain.Union(int(p>>32), int(uint32(p)))
+		}
+	}
+	if kernel.Sets() != plain.Sets() {
+		t.Fatalf("kernel produced %d sets, Union sequence %d", kernel.Sets(), plain.Sets())
+	}
+	for v := 0; v < n; v++ {
+		if kernel.Find(v) != plain.Find(v) {
+			t.Fatalf("vertex %d: kernel root %d, Union root %d", v, kernel.Find(v), plain.Find(v))
+		}
+	}
+	if want := plain.ConnectedPairs(); pairs != want {
+		t.Fatalf("incremental pair count %d, ConnectedPairs %d", pairs, want)
+	}
+	if pairs != kernel.ConnectedPairs() {
+		t.Fatalf("incremental pair count %d disagrees with kernel's own scan %d", pairs, kernel.ConnectedPairs())
+	}
+}

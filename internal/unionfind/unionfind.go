@@ -4,40 +4,62 @@
 // operations, O(alpha(n)) per find.
 package unionfind
 
+import "math/bits"
+
 // DSU is a disjoint-set union over n elements labeled 0..n-1.
+//
+// Each element packs its parent pointer and set size into one uint64
+// (parent<<32 | size); the size half is only meaningful at roots. The
+// packing means the load that terminates a find — the root's word —
+// already carries the size union-by-size needs, so the Monte Carlo union
+// kernel touches exactly one cache-resident array.
 type DSU struct {
-	parent []int32
-	size   []int32
-	sets   int
+	node []uint64 // parent<<32 | size (size valid at roots)
+	sets int
+}
+
+func pack(parent int32, size int32) uint64 {
+	return uint64(uint32(parent))<<32 | uint64(uint32(size))
 }
 
 // New returns a DSU with every element in its own singleton set.
 func New(n int) *DSU {
-	d := &DSU{
-		parent: make([]int32, n),
-		size:   make([]int32, n),
-		sets:   n,
-	}
-	for i := range d.parent {
-		d.parent[i] = int32(i)
-		d.size[i] = 1
-	}
+	d := &DSU{node: make([]uint64, n), sets: n}
+	d.Reset()
 	return d
 }
 
+// Reset returns every element to its own singleton set, reusing the
+// existing storage. It restores exactly the state New produces, so a
+// recycled DSU yields the same parent forest as a fresh one for the same
+// union sequence.
+func (d *DSU) Reset() {
+	for i := range d.node {
+		d.node[i] = pack(int32(i), 1)
+	}
+	d.sets = len(d.node)
+}
+
 // Len returns the number of elements.
-func (d *DSU) Len() int { return len(d.parent) }
+func (d *DSU) Len() int { return len(d.node) }
 
 // Sets returns the current number of disjoint sets.
 func (d *DSU) Sets() int { return d.sets }
+
+// parent returns x's parent pointer.
+func (d *DSU) parent(x int32) int32 { return int32(d.node[x] >> 32) }
+
+// size returns the size stored at x (meaningful when x is a root).
+func (d *DSU) size(x int32) int32 { return int32(uint32(d.node[x])) }
 
 // Find returns the canonical representative of x's set, compressing the
 // path by halving as it walks.
 func (d *DSU) Find(x int) int {
 	p := int32(x)
-	for d.parent[p] != p {
-		d.parent[p] = d.parent[d.parent[p]]
-		p = d.parent[p]
+	for d.parent(p) != p {
+		gp := d.parent(d.parent(p))
+		d.node[p] = pack(gp, d.size(p))
+		p = gp
 	}
 	return int(p)
 }
@@ -49,28 +71,105 @@ func (d *DSU) Union(x, y int) bool {
 	if rx == ry {
 		return false
 	}
-	if d.size[rx] < d.size[ry] {
+	sx, sy := d.size(rx), d.size(ry)
+	if sx < sy {
 		rx, ry = ry, rx
 	}
-	d.parent[ry] = rx
-	d.size[rx] += d.size[ry]
+	d.node[ry] = pack(rx, d.size(ry))
+	d.node[rx] = pack(rx, sx+sy)
 	d.sets--
 	return true
+}
+
+// UnionBitsetEdges unions the endpoints of every edge j whose bit is set
+// in the packed word slice (bit j lives in words[j/64] at position j%64),
+// in ascending index order. Edge endpoints arrive packed as
+// uv[j] = u<<32 | v so each edge costs one load. It returns the number of
+// vertex pairs the unions connected: when components of sizes a and b
+// merge, a*b new pairs connect, so starting from all-singletons the return
+// value is exactly ConnectedPairs() — sum s*(s-1)/2 over components — for
+// free, without the O(n) root scan.
+//
+// This is the per-world hot loop of the Monte Carlo estimators: find with
+// halving (store-free on the dominant depth-0/1 paths) and union by size
+// inlined over the packed node array, where the find's terminating load
+// already holds the root's size. The partition it produces — and therefore
+// every component-level quantity — is exactly what the equivalent
+// sequence of Union calls yields.
+func (d *DSU) UnionBitsetEdges(words []uint64, uv []uint64) int64 {
+	node := d.node
+	sets := d.sets
+	var pairs int64
+	for wi, word := range words {
+		base := wi << 6
+		for word != 0 {
+			j := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			p := uv[j]
+			x, y := int32(p>>32), int32(p&0xffffffff)
+			var nx, ny uint64
+			for {
+				nx = node[x]
+				px := int32(nx >> 32)
+				if px == x {
+					break
+				}
+				gx := int32(node[px] >> 32)
+				if gx == px {
+					x = px
+					nx = node[px]
+					break
+				}
+				node[x] = uint64(uint32(gx))<<32 | nx&0xffffffff
+				x = gx
+			}
+			for {
+				ny = node[y]
+				py := int32(ny >> 32)
+				if py == y {
+					break
+				}
+				gy := int32(node[py] >> 32)
+				if gy == py {
+					y = py
+					ny = node[py]
+					break
+				}
+				node[y] = uint64(uint32(gy))<<32 | ny&0xffffffff
+				y = gy
+			}
+			if x == y {
+				continue
+			}
+			sx, sy := int32(uint32(nx)), int32(uint32(ny))
+			if sx < sy {
+				x, y = y, x
+			}
+			// The size half is only meaningful at roots, so y's word needs
+			// just the new parent pointer.
+			node[y] = uint64(uint32(x)) << 32
+			node[x] = uint64(uint32(x))<<32 | uint64(uint32(sx+sy))
+			pairs += int64(sx) * int64(sy)
+			sets--
+		}
+	}
+	d.sets = sets
+	return pairs
 }
 
 // Connected reports whether x and y share a set.
 func (d *DSU) Connected(x, y int) bool { return d.Find(x) == d.Find(y) }
 
 // SetSize returns the size of x's set.
-func (d *DSU) SetSize(x int) int { return int(d.size[d.Find(x)]) }
+func (d *DSU) SetSize(x int) int { return int(d.size(int32(d.Find(x)))) }
 
 // ConnectedPairs returns the number of unordered pairs {x,y}, x != y, that
 // are connected: sum over components of s*(s-1)/2.
 func (d *DSU) ConnectedPairs() int64 {
 	var total int64
-	for i, p := range d.parent {
-		if int(p) == i { // root
-			s := int64(d.size[i])
+	for i, n := range d.node {
+		if int(n>>32) == i { // root
+			s := int64(uint32(n))
 			total += s * (s - 1) / 2
 		}
 	}
@@ -81,9 +180,9 @@ func (d *DSU) ConnectedPairs() int64 {
 // order.
 func (d *DSU) ComponentSizes() []int {
 	var out []int
-	for i, p := range d.parent {
-		if int(p) == i {
-			out = append(out, int(d.size[i]))
+	for i, n := range d.node {
+		if int(n>>32) == i {
+			out = append(out, int(uint32(n)))
 		}
 	}
 	return out

@@ -43,4 +43,42 @@ echo "$bench_out" | awk '
 ' > BENCH_obs.json
 echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) entries)"
 
+echo "== reliability benchmarks (-benchmem -count=3, allocation guard) =="
+# count=3 smooths the single-iteration noise BENCH_obs.json suffers from;
+# the JSON records the minimum ns/op across runs plus allocs/op so both
+# perf and allocation regressions are catchable.
+rel_out=$(go test -run '^$' \
+    -bench 'BenchmarkEdgeRelevance$|BenchmarkDiscrepancy$|BenchmarkDiscrepancyUncached|BenchmarkWorldSamplerInto|BenchmarkComponentsInto|BenchmarkSampleWorld$|BenchmarkConnectedPairs$' \
+    -benchmem -count=3 -benchtime "$benchtime" .)
+echo "$rel_out"
+echo "$rel_out" | awk '
+    $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (!(name in ns) || $3+0 < ns[name]) { ns[name] = $3+0; raw[name] = $3 }
+        allocs[name] = $7+0
+        if (!(name in order)) { order[name] = ++n; names[n] = name }
+    }
+    END {
+        print "["
+        for (i = 1; i <= n; i++) {
+            name = names[i]
+            printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %d}%s\n",
+                   name, raw[name], allocs[name], i < n ? "," : "")
+        }
+        print "]"
+    }
+' > BENCH_reliability.json
+echo "wrote BENCH_reliability.json ($(grep -c '"name"' BENCH_reliability.json) entries)"
+
+# The world-sampling and union kernels must stay allocation-free on the
+# steady state (the tentpole guarantee of the bitset world engine).
+for kernel in BenchmarkWorldSamplerInto BenchmarkComponentsInto; do
+    a=$(grep "\"$kernel\"" BENCH_reliability.json | sed 's/.*"allocs_per_op": \([0-9]*\).*/\1/')
+    if [ "${a:-1}" != "0" ]; then
+        echo "allocation guard: $kernel reports ${a:-?} allocs/op, want 0" >&2
+        exit 1
+    fi
+done
+echo "allocation guard: sampling kernels are allocation-free"
+
 echo "check.sh: all gates passed"
