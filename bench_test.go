@@ -10,6 +10,7 @@ package chameleon
 import (
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"chameleon/internal/anf"
 	"chameleon/internal/centrality"
@@ -19,6 +20,7 @@ import (
 	"chameleon/internal/hyperanf"
 	"chameleon/internal/metrics"
 	"chameleon/internal/obs"
+	"chameleon/internal/obs/expose"
 	"chameleon/internal/privacy"
 	"chameleon/internal/reliability"
 	"chameleon/internal/uncertain"
@@ -210,6 +212,33 @@ func BenchmarkObsOverheadAnonymize(b *testing.B) {
 	}
 	b.Run("off", bench(nil))
 	b.Run("on", bench(obs.NewObserver()))
+}
+
+// BenchmarkObsOverheadServe measures the serve-mode tax on the sigma
+// search: a bare live observer against the same observer with the
+// exposition endpoint bound and its snapshot differ ticking fast in the
+// background. The ticker only snapshots the registry, so the two must
+// stay within ~2% of each other (TestObsOverheadGuard enforces it).
+func BenchmarkObsOverheadServe(b *testing.B) {
+	g := benchGraph(b)
+	run := func(b *testing.B, o *obs.Observer) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Anonymize(g, core.Params{K: 8, Epsilon: 0.02, Samples: 100, Seed: 42, Obs: o}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, obs.NewObserver()) })
+	b.Run("on", func(b *testing.B) {
+		o := obs.NewObserver()
+		srv := expose.New(o, expose.Options{Interval: 50 * time.Millisecond})
+		if _, err := srv.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		b.ResetTimer()
+		run(b, o)
+	})
 }
 
 // BenchmarkObsOverheadEdgeRelevance measures the instrumentation cost on

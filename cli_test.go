@@ -1,14 +1,20 @@
 package chameleon
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"chameleon/internal/obs"
+	"chameleon/internal/obs/journal"
 )
 
 // TestCLIPipeline builds the command-line tools and drives the full
@@ -210,5 +216,154 @@ func TestCLIPipeline(t *testing.T) {
 	// Unknown dataset is rejected.
 	if err := exec.Command(bins["genug"], "-dataset", "bogus").Run(); err == nil {
 		t.Fatal("genug with unknown dataset should fail")
+	}
+}
+
+// TestCLIServeJournal drives the live-telemetry path end to end: an
+// experiments sweep with -serve keeps /metrics curl-able for its whole
+// duration and must expose the estimator-quality gauges; -journal appends
+// a JSONL journal that replays, and journalreplay reads it back. Skipped
+// in -short mode.
+func TestCLIServeJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI serve/journal test skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"experiments", "journalreplay"} {
+		bin := filepath.Join(dir, tool)
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bins[tool] = bin
+	}
+
+	journalPath := filepath.Join(dir, "runs.jsonl")
+	cmd := exec.Command(bins["experiments"], "-quick", "-run", "fig4", "-samples", "60",
+		"-serve", "127.0.0.1:0", "-journal", journalPath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The CLI announces its bound ephemeral address on stderr before the
+	// sweep starts.
+	addrRe := regexp.MustCompile(`http://([^/\s]+)/metrics`)
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Wait()
+		t.Fatal("experiments -serve never announced its address")
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, ""
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/runs"); code != 200 || !strings.Contains(body, "experiments") {
+		t.Errorf("/runs = %d %q", code, body)
+	}
+
+	// Poll /metrics until the run ends: the endpoint must stay up for the
+	// whole sweep and at some point expose both the per-estimator quality
+	// gauges and the per-edge ERR standard-error gauge.
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	sawQuality, sawERRStderr, scrapes := false, false, 0
+poll:
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("experiments -serve run failed: %v", err)
+			}
+			break poll
+		case <-time.After(25 * time.Millisecond):
+			code, body := get("/metrics")
+			if code == 0 {
+				continue // transient: race with process exit
+			}
+			scrapes++
+			if code != 200 {
+				t.Fatalf("/metrics status = %d", code)
+			}
+			if !strings.Contains(body, "chameleon_uptime_seconds") {
+				t.Fatalf("/metrics body missing uptime gauge:\n%s", body)
+			}
+			sawQuality = sawQuality || strings.Contains(body, "chameleon_mc_quality_")
+			sawERRStderr = sawERRStderr || strings.Contains(body, "chameleon_err_stderr_mean")
+		}
+	}
+	if scrapes == 0 {
+		t.Fatal("run finished before a single /metrics scrape")
+	}
+	if !sawQuality {
+		t.Error("no /metrics scrape exposed the mc.quality estimator gauges")
+	}
+	if !sawERRStderr {
+		t.Error("no /metrics scrape exposed chameleon_err_stderr_mean")
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("telemetry endpoint still up after the run ended")
+	}
+
+	// The journal replays: one completed run whose final snapshot carries
+	// the quality streams the sweep recorded.
+	runs, err := journal.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("journal replays %d runs, want 1", len(runs))
+	}
+	run := runs[0]
+	if run.Command != "experiments" || run.Status != "done" {
+		t.Fatalf("replayed run = %s/%s, want experiments/done", run.Command, run.Status)
+	}
+	if run.Final == nil {
+		t.Fatal("journal has no final snapshot")
+	}
+	if len(run.Final.Quality) == 0 {
+		t.Errorf("final snapshot has no quality streams: %v", run.Final.Counters)
+	}
+	if run.Final.Counters["mc.worlds_sampled"] <= 0 {
+		t.Errorf("final snapshot missing MC counters: %v", run.Final.Counters)
+	}
+	if len(run.Snapshots) == 0 {
+		t.Error("journal holds no periodic snapshots (final Poll should add one)")
+	}
+
+	// journalreplay summarizes and compares.
+	out, err := exec.Command(bins["journalreplay"], "-metric", "mc.worlds_sampled", journalPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("journalreplay: %v\n%s", err, out)
+	}
+	for _, want := range []string{"experiments", "done", "mc.worlds_sampled"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("journalreplay output missing %q:\n%s", want, out)
+		}
 	}
 }

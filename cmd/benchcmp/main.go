@@ -1,0 +1,104 @@
+// Command benchcmp compares two benchmark-artifact JSON files (the
+// BENCH_obs.json / BENCH_reliability.json schema written by
+// scripts/check.sh: an array of {name, ns_per_op, allocs_per_op,
+// iterations} records) and fails when any benchmark present in both got
+// slower than the allowed budget.
+//
+// Usage:
+//
+//	benchcmp [-max-slowdown 25] baseline.json current.json
+//
+// Exit status 1 means at least one regression beyond the budget;
+// benchmarks present in only one file are reported but never fail the
+// gate (they are additions or retirements, not regressions).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	maxSlowdown := flag.Float64("max-slowdown", 25, "fail when ns_per_op grows more than this percentage")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "benchcmp: want exactly two arguments: baseline.json current.json")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base := load(flag.Arg(0))
+	cur := load(flag.Arg(1))
+
+	baseByName := map[string]entry{}
+	for _, e := range base {
+		baseByName[e.Name] = e
+	}
+	seen := map[string]bool{}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "BENCHMARK\tBASE ns/op\tNOW ns/op\tDELTA\t")
+	regressions := 0
+	for _, e := range cur {
+		b, ok := baseByName[e.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", e.Name, e.NsPerOp)
+			continue
+		}
+		seen[e.Name] = true
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t(zero baseline)\t\n", e.Name, b.NsPerOp, e.NsPerOp)
+			continue
+		}
+		pct := 100 * (e.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if pct > *maxSlowdown {
+			mark = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", e.Name, b.NsPerOp, e.NsPerOp, pct, mark)
+	}
+	for _, b := range base {
+		if !seen[b.Name] {
+			found := false
+			for _, e := range cur {
+				if e.Name == b.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(tw, "%s\t%.0f\t-\tretired\t\n", b.Name, b.NsPerOp)
+			}
+		}
+	}
+	tw.Flush()
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed more than %.0f%%\n", regressions, *maxSlowdown)
+		os.Exit(1)
+	}
+}
+
+func load(path string) []entry {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	var out []entry
+	if err := json.Unmarshal(raw, &out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return out
+}

@@ -8,8 +8,11 @@
 //
 // Observability: -v logs structured progress to stderr; -stats FILE dumps
 // the final metrics registry and the full sigma-search trace as JSON
-// (-stats - writes the aligned-text form to stderr); -cpuprofile,
-// -memprofile and -trace enable the runtime profilers.
+// (-stats - writes the aligned-text form to stderr); -serve ADDR keeps a
+// live telemetry endpoint (/metrics, /healthz, /runs, /debug/pprof) up for
+// the duration of the run; -journal FILE appends a replayable JSONL run
+// journal; -cpuprofile, -memprofile and -trace enable the runtime
+// profilers.
 package main
 
 import (
@@ -38,6 +41,8 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		trace   = flag.String("trace", "", "write a runtime execution trace to this file")
+		serveAt = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the run")
+		jrnPath = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -55,6 +60,41 @@ func main() {
 	obs := chameleon.NewObserver()
 	if *verbose {
 		obs.Logger = chameleon.NewLogger(os.Stderr)
+	}
+
+	var jw *chameleon.Journal
+	var runID string
+	if *jrnPath != "" {
+		jw, err = chameleon.OpenJournal(*jrnPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chameleon:", err)
+			os.Exit(1)
+		}
+		runID, err = jw.Begin("chameleon", os.Args[1:], time.Now())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chameleon:", err)
+			os.Exit(1)
+		}
+	}
+	var srv *chameleon.TelemetryServer
+	if *serveAt != "" {
+		opts := chameleon.TelemetryOptions{}
+		if jw != nil {
+			opts.OnSnapshot = func(at time.Time, s chameleon.MetricsSnapshot, rates map[string]float64) {
+				jw.WriteSnapshot(at, s, rates)
+			}
+		}
+		srv = chameleon.NewTelemetryServer(obs, opts)
+		if runID == "" {
+			runID = chameleon.NewRunID(time.Now())
+		}
+		srv.AddRun(chameleon.RunInfo{ID: runID, Command: "chameleon", Args: os.Args[1:], Start: time.Now(), Status: "running"})
+		addr, err := srv.Start(*serveAt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chameleon:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "chameleon: serving telemetry on http://%s/metrics\n", addr)
 	}
 
 	g, err := chameleon.LoadGraph(*in)
@@ -101,6 +141,26 @@ func main() {
 			g.NumNodes(), g.NumEdges(), res.Graph.NumEdges(), res.Method,
 			*k, res.EpsilonTilde, res.Sigma, elapsed.Round(time.Millisecond))
 		writePhaseBreakdown(res)
+	}
+	srv.Poll() // one final differ tick so the journal sees the end state
+	srv.SetRunStatus(runID, "done")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "chameleon:", err)
+		os.Exit(1)
+	}
+	if jw != nil {
+		if err := jw.WriteSpan(time.Now(), res.Trace()); err != nil {
+			fmt.Fprintln(os.Stderr, "chameleon:", err)
+			os.Exit(1)
+		}
+		if err := jw.End(time.Now(), "done", obs.Registry().Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "chameleon:", err)
+			os.Exit(1)
+		}
+		if err := jw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "chameleon:", err)
+			os.Exit(1)
+		}
 	}
 	if err := writeStats(*stats, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "chameleon:", err)

@@ -12,6 +12,8 @@
 //	experiments -run fig8        # one artifact: tableI tableII fig3 fig4
 //	                             # fig8 fig9 fig10 fig11 ablations sweep
 //	experiments -csv runs.csv    # also dump the raw grid
+//	experiments -serve :9100     # live /metrics, /healthz, /runs, /debug/pprof
+//	experiments -journal r.jsonl # append a replayable JSONL run journal
 package main
 
 import (
@@ -23,6 +25,8 @@ import (
 
 	"chameleon/internal/exp"
 	"chameleon/internal/obs"
+	"chameleon/internal/obs/expose"
+	"chameleon/internal/obs/journal"
 )
 
 func main() {
@@ -38,6 +42,8 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		trcPath = flag.String("trace", "", "write a runtime execution trace to this file")
+		serveAt = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the sweep")
+		jrnPath = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
 	)
 	flag.Parse()
 
@@ -45,11 +51,37 @@ func main() {
 	fail(err)
 
 	var observer *obs.Observer
-	if *stats != "" || *verbose {
+	if *stats != "" || *verbose || *serveAt != "" || *jrnPath != "" {
 		observer = obs.NewObserver()
 		if *verbose {
 			observer.Logger = obs.NewLogger(os.Stderr)
 		}
+	}
+
+	var jw *journal.Writer
+	var runID string
+	if *jrnPath != "" {
+		jw, err = journal.Open(*jrnPath)
+		fail(err)
+		runID, err = jw.Begin("experiments", os.Args[1:], time.Now())
+		fail(err)
+	}
+	var srv *expose.Server
+	if *serveAt != "" {
+		opts := expose.Options{}
+		if jw != nil {
+			opts.OnSnapshot = func(at time.Time, s obs.Snapshot, rates map[string]float64) {
+				jw.WriteSnapshot(at, s, rates)
+			}
+		}
+		srv = expose.New(observer, opts)
+		if runID == "" {
+			runID = journal.NewRunID(time.Now())
+		}
+		srv.AddRun(expose.RunInfo{ID: runID, Command: "experiments", Args: os.Args[1:], Start: time.Now(), Status: "running"})
+		addr, err := srv.Start(*serveAt)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "experiments: serving telemetry on http://%s/metrics\n", addr)
 	}
 
 	cfg := exp.Config{Quick: *quick, Samples: *samples, Seed: *seed, Workers: *workers, Obs: observer}
@@ -135,6 +167,16 @@ func main() {
 	}
 	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Millisecond))
 
+	srv.Poll() // one final differ tick so the journal sees the end state
+	srv.SetRunStatus(runID, "done")
+	fail(srv.Close())
+	if jw != nil {
+		for _, span := range observer.Spans() {
+			fail(jw.WriteSpan(time.Now(), span))
+		}
+		fail(jw.End(time.Now(), "done", observer.Registry().Snapshot()))
+		fail(jw.Close())
+	}
 	fail(writeStats(*stats, observer))
 	fail(stopProfiles())
 }

@@ -1,0 +1,126 @@
+// Command journalreplay reloads JSONL run journals written by the
+// -journal flag of chameleon and experiments, summarizes each run, and
+// compares metrics across runs.
+//
+// Usage:
+//
+//	journalreplay runs.jsonl                     # per-run summary table
+//	journalreplay -full runs.jsonl               # + each run's final snapshot
+//	journalreplay -metric mc.worlds_sampled a.jsonl b.jsonl
+//	                                             # final value per run, delta vs first
+//	journalreplay -json runs.jsonl               # dump replayed runs as JSON
+//
+// -metric resolves against the final snapshot: counters and gauges by
+// name, quality streams by their mean (with the 95% CI alongside).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"chameleon/internal/obs/journal"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "dump the replayed runs as JSON")
+		metric  = flag.String("metric", "", "compare this metric's final value across runs")
+		full    = flag.Bool("full", false, "print each run's final metrics snapshot")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "journalreplay: at least one journal file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var runs []*journal.Run
+	for _, path := range flag.Args() {
+		rs, err := journal.ReadFile(path)
+		fail(err)
+		runs = append(runs, rs...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(runs))
+		return
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "RUN\tCOMMAND\tSTATUS\tSTART\tDURATION\tSNAPSHOTS\tSPANS")
+	for _, run := range runs {
+		dur := "-"
+		if !run.End.IsZero() && !run.Start.IsZero() {
+			dur = run.End.Sub(run.Start).Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
+			run.ID, run.Command, run.Status, run.Start.Format(time.RFC3339), dur,
+			len(run.Snapshots), len(run.Spans))
+	}
+	fail(tw.Flush())
+
+	if *metric != "" {
+		fmt.Printf("\nfinal %s per run:\n", *metric)
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		var base float64
+		haveBase := false
+		for _, run := range runs {
+			v, detail, ok := lookupMetric(run, *metric)
+			if !ok {
+				fmt.Fprintf(tw, "%s\t(absent)\t\n", run.ID)
+				continue
+			}
+			delta := ""
+			if haveBase && base != 0 {
+				delta = fmt.Sprintf("%+.2f%% vs first", 100*(v-base)/base)
+			} else if !haveBase {
+				base, haveBase = v, true
+			}
+			fmt.Fprintf(tw, "%s\t%g%s\t%s\n", run.ID, v, detail, delta)
+		}
+		fail(tw.Flush())
+	}
+
+	if *full {
+		for _, run := range runs {
+			fmt.Printf("\n=== %s (%s, %s) ===\n", run.ID, run.Command, run.Status)
+			if run.Final == nil {
+				fmt.Println("(no end record: run truncated or still in flight)")
+				continue
+			}
+			fail(run.Final.WriteText(os.Stdout))
+		}
+	}
+}
+
+// lookupMetric resolves a dotted metric name against a run's final
+// snapshot: counter, gauge, then quality-stream mean (annotated with its
+// 95% CI).
+func lookupMetric(run *journal.Run, name string) (value float64, detail string, ok bool) {
+	if run.Final == nil {
+		return 0, "", false
+	}
+	if v, ok := run.Final.Counters[name]; ok {
+		return float64(v), "", true
+	}
+	if v, ok := run.Final.Gauges[name]; ok {
+		return v, "", true
+	}
+	if q, ok := run.Final.Quality[name]; ok {
+		return q.Mean, fmt.Sprintf(" (ci95 [%.6g, %.6g], n=%d)", q.CI95Lo, q.CI95Hi, q.Count), true
+	}
+	return 0, "", false
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "journalreplay:", err)
+		os.Exit(1)
+	}
+}

@@ -37,7 +37,7 @@ type DPRow struct {
 func (c Config) DPComparison() ([]DPRow, error) {
 	c = c.withDefaults()
 	paperK := c.PaperKs[len(c.PaperKs)/2]
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 21, Workers: c.Workers, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 21, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
 	ps := reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 22}
 	var rows []DPRow
 	for _, d := range c.Datasets() {

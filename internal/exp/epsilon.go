@@ -36,7 +36,7 @@ func (c Config) EpsilonSweep(multipliers []float64) ([]EpsilonRow, error) {
 	}
 	paperK := c.PaperKs[len(c.PaperKs)/2]
 	k := d.KScale(paperK)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 51, Workers: c.Workers, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 51, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
 	var rows []EpsilonRow
 	for _, mult := range multipliers {
 		eps := d.Epsilon * mult

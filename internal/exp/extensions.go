@@ -106,7 +106,7 @@ type KNNRow struct {
 func (c Config) KNNExperiment() ([]KNNRow, error) {
 	c = c.withDefaults()
 	paperK := c.PaperKs[len(c.PaperKs)/2]
-	est := reliability.Estimator{Samples: c.Samples / 2, Seed: c.Seed + 77, Workers: c.Workers, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples / 2, Seed: c.Seed + 77, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
 	opts := knn.PreservationOptions{K: 10, Queries: 20, Seed: c.Seed + 78}
 	var rows []KNNRow
 	for _, d := range c.Datasets() {
@@ -179,7 +179,7 @@ func (c Config) CSweepAblation(multipliers []float64) ([]CSweepRow, error) {
 	}
 	paperK := c.PaperKs[len(c.PaperKs)-1]
 	k := d.KScale(paperK)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
 	var rows []CSweepRow
 	for _, mult := range multipliers {
 		params := core.Params{

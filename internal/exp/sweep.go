@@ -215,6 +215,6 @@ func (c Config) SweepAll(methods []string) ([]Run, []Baseline, error) {
 func (c Config) ExtractionOnlyDiscrepancy(g *uncertain.Graph) (float64, error) {
 	c = c.withDefaults()
 	rep := repan.Representative(g)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
 	return est.RelativeDiscrepancy(g, rep, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
 }

@@ -1,0 +1,278 @@
+// Package expose serves an Observer's live state over HTTP for the
+// duration of a run: Prometheus-text /metrics, a /healthz liveness probe,
+// a /runs JSON listing of the run records registered with the server, and
+// the stdlib pprof handlers under /debug/pprof/. A background differ
+// snapshots the registry on a fixed interval and turns counter deltas
+// into per-second rates, which /metrics publishes as companion
+// *_per_second gauges; an optional OnSnapshot hook receives every tick
+// (the journal uses it to record periodic snapshots).
+//
+// Like the rest of the obs subsystem, a nil *Server is usable: every
+// method is a no-op, so CLIs can hold one unconditionally and only
+// construct it when -serve is set.
+package expose
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+// DefaultNamespace prefixes every exported metric name.
+const DefaultNamespace = "chameleon"
+
+// DefaultInterval is the differ tick period when Options.Interval is zero.
+const DefaultInterval = 5 * time.Second
+
+// Options configures a Server.
+type Options struct {
+	// Namespace is the metric-name prefix (DefaultNamespace if empty).
+	Namespace string
+	// Interval is the snapshot-differ period (DefaultInterval if zero).
+	Interval time.Duration
+	// OnSnapshot, when non-nil, is invoked after every differ tick —
+	// periodic and Poll-forced alike — with the snapshot just taken and
+	// the counter rates computed from it. It runs on the differ goroutine;
+	// keep it fast or hand off.
+	OnSnapshot func(at time.Time, s obs.Snapshot, rates map[string]float64)
+}
+
+// RunInfo is one run record listed by /runs.
+type RunInfo struct {
+	ID      string    `json:"id"`
+	Command string    `json:"command"`
+	Args    []string  `json:"args,omitempty"`
+	Start   time.Time `json:"start"`
+	Status  string    `json:"status"` // "running", "done", "failed"
+}
+
+// Server exposes one Observer. Construct with New; start the listener
+// with Start or mount Handler() yourself.
+type Server struct {
+	o     *obs.Observer
+	opts  Options
+	start time.Time
+
+	mu     sync.Mutex
+	prev   obs.Snapshot
+	prevAt time.Time
+	rates  map[string]float64
+	runs   []RunInfo
+
+	lis  net.Listener
+	srv  *http.Server
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a server over the observer. The differ's first baseline is
+// the registry state at construction time.
+func New(o *obs.Observer, opts Options) *Server {
+	if opts.Namespace == "" {
+		opts.Namespace = DefaultNamespace
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	now := time.Now()
+	return &Server{
+		o:      o,
+		opts:   opts,
+		start:  now,
+		prev:   o.Registry().Snapshot(),
+		prevAt: now,
+		rates:  map[string]float64{},
+	}
+}
+
+// Handler returns the endpoint mux: /metrics, /healthz, /runs,
+// /debug/pprof/ and an index page at /. Returns nil on a nil server.
+func (s *Server) Handler() http.Handler {
+	if s == nil {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (e.g. ":9100" or "127.0.0.1:0"), serves the handler in
+// the background and starts the differ ticker. It returns the bound
+// address, which differs from addr when port 0 was requested. No-op on a
+// nil server.
+func (s *Server) Start(addr string) (string, error) {
+	if s == nil {
+		return "", nil
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("expose: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	s.srv = &http.Server{Handler: s.Handler()}
+	s.done = make(chan struct{})
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.srv.Serve(lis) // returns ErrServerClosed on Close
+	}()
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Poll()
+			case <-s.done:
+				return
+			}
+		}
+	}()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener and the differ and waits for both to exit.
+// Safe on a nil or never-started server.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	close(s.done)
+	err := s.srv.Close()
+	s.wg.Wait()
+	s.srv = nil
+	return err
+}
+
+// Poll forces one differ tick: snapshot the registry, convert counter
+// deltas since the previous tick into per-second rates, and fire the
+// OnSnapshot hook. Exposed so tests (and non-serving callers) can drive
+// the differ deterministically. No-op on a nil server.
+func (s *Server) Poll() {
+	if s == nil {
+		return
+	}
+	s.pollAt(time.Now())
+}
+
+func (s *Server) pollAt(now time.Time) {
+	cur := s.o.Registry().Snapshot()
+
+	s.mu.Lock()
+	dt := now.Sub(s.prevAt).Seconds()
+	rates := make(map[string]float64, len(cur.Counters))
+	if dt > 0 {
+		for name, v := range cur.Counters {
+			rates[name] = float64(v-s.prev.Counters[name]) / dt
+		}
+	}
+	s.prev = cur
+	s.prevAt = now
+	s.rates = rates
+	hook := s.opts.OnSnapshot
+	s.mu.Unlock()
+
+	if hook != nil {
+		hook(now, cur, rates)
+	}
+}
+
+// Rates returns a copy of the counter rates computed by the latest differ
+// tick (empty before the first tick, or on a nil server).
+func (s *Server) Rates() map[string]float64 {
+	out := map[string]float64{}
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.rates {
+		out[k] = v
+	}
+	return out
+}
+
+// AddRun registers a run record for /runs. Records are listed in
+// registration order. No-op on a nil server.
+func (s *Server) AddRun(info RunInfo) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs = append(s.runs, info)
+}
+
+// SetRunStatus updates the status of a previously added run. No-op when
+// the ID is unknown or the server is nil.
+func (s *Server) SetRunStatus(id, status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.runs {
+		if s.runs[i].ID == id {
+			s.runs[i].Status = status
+		}
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "chameleon telemetry\n\n/metrics       Prometheus text exposition\n/healthz       liveness probe\n/runs          run records (JSON)\n/debug/pprof/  runtime profiles\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.o.Registry().Snapshot()
+	s.mu.Lock()
+	rates := make(map[string]float64, len(s.rates))
+	for k, v := range s.rates {
+		rates[k] = v
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, s.opts.Namespace, snap, rates)
+	up := s.opts.Namespace + "_uptime_seconds"
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", up, up, formatValue(time.Since(s.start).Seconds()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]RunInfo, len(s.runs))
+	copy(runs, s.runs)
+	s.mu.Unlock()
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].Start.Before(runs[j].Start) })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Runs []RunInfo `json:"runs"`
+	}{runs})
+}

@@ -1,0 +1,302 @@
+package expose
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+func testObserver() *obs.Observer {
+	o := obs.NewObserver()
+	r := o.Registry()
+	r.Counter("mc.worlds_sampled").Add(1000)
+	r.Counter("sweep.cells").Add(3)
+	r.Gauge("err.stderr.mean").Set(0.125)
+	r.Gauge("weird name-with.chars").Set(-1.5)
+	h := r.Histogram("op.seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 2, 4} {
+		h.Observe(v)
+	}
+	q := r.Quality("mc.quality.ExpectedConnectedPairs")
+	for _, v := range []float64{100, 104, 96, 102, 98} {
+		q.Observe(v)
+	}
+	return o
+}
+
+// metricLine matches a Prometheus text-format sample: a valid metric name,
+// an optional single-label set, and a float value.
+var metricLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (NaN|[+-]?Inf|[+-]?\d+(\.\d+)?([eE][+-]?\d+)?)$`)
+
+// typeLine matches a # TYPE comment.
+var typeLine = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+
+// TestMetricsEndpointFormat round-trips /metrics through httptest and
+// checks every line against the Prometheus text exposition grammar.
+func TestMetricsEndpointFormat(t *testing.T) {
+	s := New(testObserver(), Options{})
+	s.Poll() // populate rates
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain prefix", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := map[string]float64{}
+	var bucketLines []string
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !typeLine.MatchString(line) {
+				t.Errorf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		m := metricLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		v, _ := strconv.ParseFloat(m[3], 64)
+		samples[m[1]+m[2]] = v
+		if m[2] != "" {
+			bucketLines = append(bucketLines, line)
+		}
+	}
+
+	want := map[string]float64{
+		"chameleon_mc_worlds_sampled":                            1000,
+		"chameleon_sweep_cells":                                  3,
+		"chameleon_err_stderr_mean":                              0.125,
+		"chameleon_weird_name_with_chars":                        -1.5,
+		"chameleon_mc_quality_ExpectedConnectedPairs_count":      5,
+		"chameleon_mc_quality_ExpectedConnectedPairs_mean":       100,
+		"chameleon_op_seconds_count":                             5,
+		"chameleon_op_seconds_sum":                               6.555,
+		`chameleon_op_seconds_bucket{le="0.01"}`:                 1,
+		`chameleon_op_seconds_bucket{le="0.1"}`:                  2,
+		`chameleon_op_seconds_bucket{le="1"}`:                    3,
+		`chameleon_op_seconds_bucket{le="+Inf"}`:                 5,
+		"chameleon_mc_worlds_sampled_per_second":                 samples["chameleon_mc_worlds_sampled_per_second"],
+		"chameleon_mc_quality_ExpectedConnectedPairs_stderr":     math.Sqrt(10) / math.Sqrt(5),
+		"chameleon_mc_quality_ExpectedConnectedPairs_rel_stderr": math.Sqrt(10) / math.Sqrt(5) / 100,
+	}
+	for name, v := range want {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("missing sample %s", name)
+			continue
+		}
+		if math.Abs(got-v) > 1e-9*math.Max(1, math.Abs(v)) {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if _, ok := samples["chameleon_mc_worlds_sampled_per_second"]; !ok {
+		t.Error("missing differ rate gauge chameleon_mc_worlds_sampled_per_second")
+	}
+	if _, ok := samples["chameleon_uptime_seconds"]; !ok {
+		t.Error("missing chameleon_uptime_seconds")
+	}
+
+	// Cumulative bucket counts must be monotonically non-decreasing.
+	var prev float64
+	for _, line := range bucketLines {
+		v := samples[line[:strings.LastIndexByte(line, ' ')]]
+		if v < prev {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+}
+
+// TestRatesDiffer: Poll converts counter deltas into per-second rates
+// against the previous tick's baseline.
+func TestRatesDiffer(t *testing.T) {
+	o := obs.NewObserver()
+	c := o.Registry().Counter("work.items")
+	c.Add(10)
+	s := New(o, Options{})
+
+	// Force a measurable dt by back-dating the baseline.
+	s.mu.Lock()
+	s.prevAt = s.prevAt.Add(-2 * time.Second)
+	s.prev.Counters["work.items"] = 0
+	s.mu.Unlock()
+
+	s.pollAt(time.Now())
+	r := s.Rates()
+	if got := r["work.items"]; math.Abs(got-5) > 0.5 {
+		t.Errorf("rate = %v, want ~5/s (10 items over ~2s)", got)
+	}
+
+	// Second tick with no counter movement: rate falls to zero.
+	s.mu.Lock()
+	s.prevAt = s.prevAt.Add(-time.Second)
+	s.mu.Unlock()
+	s.pollAt(time.Now())
+	if got := s.Rates()["work.items"]; got != 0 {
+		t.Errorf("idle rate = %v, want 0", got)
+	}
+}
+
+// TestOnSnapshotHook: the differ hook fires on every Poll with the
+// snapshot just taken.
+func TestOnSnapshotHook(t *testing.T) {
+	o := obs.NewObserver()
+	o.Registry().Counter("c").Add(7)
+	var calls int
+	var last obs.Snapshot
+	s := New(o, Options{OnSnapshot: func(_ time.Time, snap obs.Snapshot, _ map[string]float64) {
+		calls++
+		last = snap
+	}})
+	s.Poll()
+	s.Poll()
+	if calls != 2 {
+		t.Fatalf("hook fired %d times, want 2", calls)
+	}
+	if last.Counters["c"] != 7 {
+		t.Errorf("hook snapshot counter = %d, want 7", last.Counters["c"])
+	}
+}
+
+// TestRunsAndHealthz covers the non-metrics endpoints.
+func TestRunsAndHealthz(t *testing.T) {
+	s := New(testObserver(), Options{})
+	s.AddRun(RunInfo{ID: "r1", Command: "experiments", Args: []string{"-quick"}, Start: time.Now(), Status: "running"})
+	s.SetRunStatus("r1", "done")
+	s.SetRunStatus("missing", "failed") // unknown ID: ignored
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Runs []RunInfo `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 1 || out.Runs[0].ID != "r1" || out.Runs[0].Status != "done" {
+		t.Errorf("/runs = %+v", out.Runs)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/ status = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/nope status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStartClose: Start binds an ephemeral port, /metrics is reachable
+// over real TCP, and Close shuts everything down.
+func TestStartClose(t *testing.T) {
+	s := New(testObserver(), Options{Interval: 10 * time.Millisecond})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "chameleon_mc_worlds_sampled 1000") {
+		t.Errorf("served metrics missing counter; got:\n%s", body)
+	}
+	time.Sleep(30 * time.Millisecond) // let the ticker fire at least once
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestNilServerSafety: every method on a nil *Server is a usable no-op,
+// matching the obs nil-disables-everything contract.
+func TestNilServerSafety(t *testing.T) {
+	var s *Server
+	if h := s.Handler(); h != nil {
+		t.Error("nil server Handler() != nil")
+	}
+	if addr, err := s.Start(":0"); addr != "" || err != nil {
+		t.Errorf("nil server Start = %q, %v", addr, err)
+	}
+	s.Poll()
+	if r := s.Rates(); len(r) != 0 {
+		t.Errorf("nil server Rates = %v", r)
+	}
+	s.AddRun(RunInfo{ID: "x"})
+	s.SetRunStatus("x", "done")
+	if err := s.Close(); err != nil {
+		t.Errorf("nil server Close: %v", err)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"mc.worlds_sampled":    "mc_worlds_sampled",
+		"err.stderr.mean":      "err_stderr_mean",
+		"weird name-with.char": "weird_name_with_char",
+		"already_ok:name":      "already_ok:name",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

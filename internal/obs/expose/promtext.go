@@ -1,0 +1,135 @@
+package expose
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"chameleon/internal/obs"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, quality streams expanded into their derived estimator-health
+// gauges, histograms with cumulative le-buckets plus _sum and _count, and
+// the differ's counter rates as companion _per_second gauges. Metric names
+// are namespaced and sanitized (every character outside [a-zA-Z0-9_:]
+// becomes '_'), and families are emitted in sorted order so the output is
+// deterministic for a given snapshot.
+func WritePrometheus(w io.Writer, namespace string, s obs.Snapshot, rates map[string]float64) error {
+	p := &promWriter{w: w, ns: namespace}
+
+	for _, name := range sortedKeys(s.Counters) {
+		p.family(name, "counter")
+		p.sample(p.name(name), "", float64(s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p.family(name, "gauge")
+		p.sample(p.name(name), "", s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Quality) {
+		q := s.Quality[name]
+		base := p.name(name)
+		for _, part := range []struct {
+			suffix string
+			value  float64
+		}{
+			{"_count", float64(q.Count)},
+			{"_mean", q.Mean},
+			{"_stderr", q.StdErr},
+			{"_ci95_lo", q.CI95Lo},
+			{"_ci95_hi", q.CI95Hi},
+			{"_rel_stderr", q.RelStdErr},
+		} {
+			fmt.Fprintf(p.w, "# TYPE %s%s gauge\n", base, part.suffix)
+			p.sample(base+part.suffix, "", part.value)
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		p.family(name, "histogram")
+		base := p.name(name)
+		var cum int64
+		seenInf := false
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.LE == "+Inf" {
+				seenInf = true
+			}
+			p.sample(base+"_bucket", `le="`+b.LE+`"`, float64(cum))
+		}
+		if !seenInf {
+			p.sample(base+"_bucket", `le="+Inf"`, float64(h.Count))
+		}
+		p.sample(base+"_sum", "", h.Sum)
+		p.sample(base+"_count", "", float64(h.Count))
+	}
+	for _, name := range sortedKeys(rates) {
+		rateName := p.name(name) + "_per_second"
+		fmt.Fprintf(p.w, "# TYPE %s gauge\n", rateName)
+		p.sample(rateName, "", rates[name])
+	}
+	return p.err
+}
+
+type promWriter struct {
+	w   io.Writer
+	ns  string
+	err error
+}
+
+// name builds the namespaced, sanitized metric name.
+func (p *promWriter) name(raw string) string {
+	return p.ns + "_" + sanitizeMetricName(raw)
+}
+
+func (p *promWriter) family(raw, typ string) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, "# TYPE %s %s\n", p.name(raw), typ)
+	}
+}
+
+func (p *promWriter) sample(name, label string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if label != "" {
+		_, p.err = fmt.Fprintf(p.w, "%s{%s} %s\n", name, label, formatValue(v))
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s %s\n", name, formatValue(v))
+}
+
+// formatValue renders a sample value; strconv's 'g' yields "+Inf", "-Inf"
+// and "NaN" spellings, which the text format accepts verbatim.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a dotted registry name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:], replacing every other byte with '_'.
+// Registry names never start with a digit (they are dotted identifiers),
+// so no leading-digit escape is needed.
+func sanitizeMetricName(name string) string {
+	out := []byte(name)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,266 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleon/internal/obs"
+	"chameleon/internal/obs/expose"
+)
+
+func populatedObserver() *obs.Observer {
+	o := obs.NewObserver()
+	r := o.Registry()
+	r.Counter("mc.worlds_sampled").Add(512)
+	r.Gauge("err.stderr.mean").Set(0.03125)
+	h := r.Histogram("op.seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.002, 0.02, 0.2, 2} {
+		h.Observe(v)
+	}
+	q := r.Quality("mc.quality.ExpectedConnectedPairs")
+	for _, v := range []float64{10, 12, 11, 9, 8} {
+		q.Observe(v)
+	}
+	return o
+}
+
+// TestRoundTrip is the acceptance-criterion test: a journal written from
+// live snapshots replays into IDENTICAL snapshot structs.
+func TestRoundTrip(t *testing.T) {
+	o := populatedObserver()
+	snap1 := o.Registry().Snapshot()
+	o.Registry().Counter("mc.worlds_sampled").Add(100)
+	snap2 := o.Registry().Snapshot()
+
+	span := obs.NewSpan("anonymize")
+	child := span.StartChild("sigma-search")
+	child.SetAttr("sigma", 0.5)
+	child.End()
+	span.End()
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	id, err := w.Begin("experiments", []string{"-quick", "-serve", ":9100"}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" || w.RunID() != id {
+		t.Fatalf("Begin run ID = %q, writer holds %q", id, w.RunID())
+	}
+	rates := map[string]float64{"mc.worlds_sampled": 51.2}
+	if err := w.WriteSnapshot(t0.Add(5*time.Second), snap1, rates); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSnapshot(t0.Add(10*time.Second), snap2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSpan(t0.Add(11*time.Second), span); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(t0.Add(12*time.Second), "done", snap2); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("replayed %d runs, want 1", len(runs))
+	}
+	run := runs[0]
+	if run.ID != id || run.Command != "experiments" || run.Status != "done" {
+		t.Errorf("run identity = %+v", run)
+	}
+	if !reflect.DeepEqual(run.Args, []string{"-quick", "-serve", ":9100"}) {
+		t.Errorf("args = %v", run.Args)
+	}
+	if !run.Start.Equal(t0) || !run.End.Equal(t0.Add(12*time.Second)) {
+		t.Errorf("start/end = %v / %v", run.Start, run.End)
+	}
+
+	if len(run.Snapshots) != 2 {
+		t.Fatalf("replayed %d snapshots, want 2", len(run.Snapshots))
+	}
+	if !reflect.DeepEqual(run.Snapshots[0].Snapshot, snap1) {
+		t.Errorf("snapshot 1 not identical:\ngot  %+v\nwant %+v", run.Snapshots[0].Snapshot, snap1)
+	}
+	if !reflect.DeepEqual(run.Snapshots[0].Rates, rates) {
+		t.Errorf("rates = %v, want %v", run.Snapshots[0].Rates, rates)
+	}
+	if !reflect.DeepEqual(run.Snapshots[1].Snapshot, snap2) {
+		t.Errorf("snapshot 2 not identical")
+	}
+	if run.Final == nil || !reflect.DeepEqual(*run.Final, snap2) {
+		t.Errorf("final snapshot not identical")
+	}
+
+	// Spans round-trip up to JSON equivalence (Attrs values decode as
+	// generic JSON numbers).
+	if len(run.Spans) != 1 {
+		t.Fatalf("replayed %d spans, want 1", len(run.Spans))
+	}
+	wantSpan, _ := json.Marshal(span)
+	gotSpan, _ := json.Marshal(run.Spans[0])
+	if !bytes.Equal(wantSpan, gotSpan) {
+		t.Errorf("span round-trip:\ngot  %s\nwant %s", gotSpan, wantSpan)
+	}
+}
+
+// TestRoundTripExtremeFloats: the snapshot clamps +Inf RSE to
+// MaxFloat64 precisely so journal lines stay valid JSON; make sure that
+// value survives the trip bit-exactly.
+func TestRoundTripExtremeFloats(t *testing.T) {
+	o := obs.NewObserver()
+	q := o.Registry().Quality("noise.around.zero")
+	q.Observe(-1)
+	q.Observe(1)
+	snap := o.Registry().Snapshot()
+	if snap.Quality["noise.around.zero"].RelStdErr != math.MaxFloat64 {
+		t.Fatalf("precondition: RSE = %v, want MaxFloat64", snap.Quality["noise.around.zero"].RelStdErr)
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Begin("t", nil, time.Unix(0, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(time.Unix(1, 0).UTC(), "done", snap); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*runs[0].Final, snap) {
+		t.Errorf("extreme-float snapshot not identical after replay")
+	}
+}
+
+// TestFileAppendAcrossRuns: Open appends, so sequential runs accumulate
+// in one journal file and replay as distinct runs in order.
+func TestFileAppendAcrossRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	t0 := time.Date(2026, 8, 6, 9, 0, 0, 0, time.UTC)
+	var ids []string
+	for i := 0; i < 2; i++ {
+		w, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := w.Begin("chameleon", nil, t0.Add(time.Duration(i)*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := w.End(t0.Add(time.Duration(i)*time.Minute+30*time.Second), "done", obs.Snapshot{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("replayed %d runs, want 2", len(runs))
+	}
+	for i, run := range runs {
+		if run.ID != ids[i] {
+			t.Errorf("run %d ID = %q, want %q", i, run.ID, ids[i])
+		}
+		if run.Status != "done" {
+			t.Errorf("run %d status = %q", i, run.Status)
+		}
+	}
+	if ids[0] == ids[1] {
+		t.Errorf("run IDs collide: %q", ids[0])
+	}
+}
+
+// TestExposeHookIntegration: the writer's WriteSnapshot slots straight
+// into the expose differ's OnSnapshot hook, journaling every tick.
+func TestExposeHookIntegration(t *testing.T) {
+	o := populatedObserver()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Begin("experiments", nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	srv := expose.New(o, expose.Options{OnSnapshot: func(at time.Time, s obs.Snapshot, r map[string]float64) {
+		w.WriteSnapshot(at, s, r)
+	}})
+	srv.Poll()
+	o.Registry().Counter("mc.worlds_sampled").Add(64)
+	srv.Poll()
+	if err := w.End(time.Now(), "done", o.Registry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || len(runs[0].Snapshots) != 2 {
+		t.Fatalf("runs=%d snapshots=%d, want 1 run with 2 snapshots", len(runs), len(runs[0].Snapshots))
+	}
+	if got := runs[0].Snapshots[1].Snapshot.Counters["mc.worlds_sampled"]; got != 576 {
+		t.Errorf("tick-2 counter = %d, want 576", got)
+	}
+}
+
+// TestTruncatedAndMalformed: replay tolerates a run with no end record,
+// and reports malformed lines with their line number.
+func TestTruncatedAndMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Begin("experiments", nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Status != "running" {
+		t.Errorf("truncated journal: %+v", runs)
+	}
+
+	if _, err := Read(strings.NewReader("{not json\n")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("malformed line error = %v, want line-numbered error", err)
+	}
+	if _, err := Read(strings.NewReader(`{"type":"wat","run_id":"x"}` + "\n")); err == nil || !strings.Contains(err.Error(), "wat") {
+		t.Errorf("unknown type error = %v", err)
+	}
+}
+
+// TestNilWriterSafety: every method on a nil *Writer no-ops, so the CLIs
+// journal unconditionally.
+func TestNilWriterSafety(t *testing.T) {
+	var w *Writer
+	if id, err := w.Begin("x", nil, time.Now()); id != "" || err != nil {
+		t.Errorf("nil Begin = %q, %v", id, err)
+	}
+	if w.RunID() != "" {
+		t.Error("nil RunID != \"\"")
+	}
+	if err := w.WriteSnapshot(time.Now(), obs.Snapshot{}, nil); err != nil {
+		t.Errorf("nil WriteSnapshot: %v", err)
+	}
+	if err := w.WriteSpan(time.Now(), obs.NewSpan("s")); err != nil {
+		t.Errorf("nil WriteSpan: %v", err)
+	}
+	if err := w.End(time.Now(), "done", obs.Snapshot{}); err != nil {
+		t.Errorf("nil End: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

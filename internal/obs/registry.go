@@ -132,18 +132,20 @@ func (h *Histogram) Sum() float64 {
 // instruments. The zero value is NOT usable; construct with NewRegistry.
 // A nil *Registry is usable and hands out nil instruments.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	qualities map[string]*Quality
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		qualities: make(map[string]*Quality),
 	}
 }
 
@@ -194,6 +196,22 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Quality returns the named estimator-quality stream, creating it on
+// first use.
+func (r *Registry) Quality(name string) *Quality {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.qualities[name]
+	if !ok {
+		q = &Quality{}
+		r.qualities[name] = q
+	}
+	return q
+}
+
 // BucketCount is one histogram bucket in a snapshot. LE is the bucket's
 // inclusive upper bound formatted as a decimal string ("+Inf" for the
 // overflow bucket) so the snapshot stays valid JSON.
@@ -210,12 +228,60 @@ type HistogramSnapshot struct {
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts by
+// linear interpolation inside the containing bucket, the way Prometheus's
+// histogram_quantile does: the bucket's mass is assumed uniform between
+// its lower and upper bound. Observations in the overflow bucket have no
+// upper bound, so a quantile landing there returns the largest finite
+// bound. Returns 0 for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	lower, largestFinite := 0.0, 0.0
+	for _, b := range h.Buckets {
+		upper, isInf := bucketBound(b.LE)
+		if !isInf {
+			largestFinite = upper
+		}
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank {
+			if isInf {
+				return largestFinite
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			return lower + (upper-lower)*frac
+		}
+		if !isInf {
+			lower = upper
+		}
+	}
+	return largestFinite
+}
+
+// bucketBound parses a snapshot bucket's LE string back into its numeric
+// upper bound; the overflow bucket reports isInf.
+func bucketBound(le string) (bound float64, isInf bool) {
+	if le == "+Inf" {
+		return math.Inf(1), true
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, true // malformed bound: treat as unbounded
+	}
+	return v, false
+}
+
 // Snapshot is the frozen state of a registry. Maps serialize with sorted
 // keys, so the JSON form is deterministic for a given state.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Quality    map[string]QualitySnapshot   `json:"quality"`
 }
 
 // Snapshot freezes the registry's current state. A nil registry yields an
@@ -225,6 +291,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},
+		Quality:    map[string]QualitySnapshot{},
 	}
 	if r == nil {
 		return s
@@ -255,6 +322,9 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms[name] = hs
 	}
+	for name, q := range r.qualities {
+		s.Quality[name] = q.State().Snapshot()
+	}
 	return s
 }
 
@@ -278,9 +348,18 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		fmt.Fprintf(tw, "histogram\t%s\tcount=%d sum=%.6g mean=%.6g\n", name, h.Count, h.Sum, h.Mean)
+		if h.Count > 0 {
+			fmt.Fprintf(tw, "\t  quantiles\tp50=%.6g p90=%.6g p99=%.6g\n",
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+		}
 		for _, b := range h.Buckets {
 			fmt.Fprintf(tw, "\t  le=%s\t%d\n", b.LE, b.Count)
 		}
+	}
+	for _, name := range sortedKeys(s.Quality) {
+		q := s.Quality[name]
+		fmt.Fprintf(tw, "quality\t%s\tn=%d mean=%.6g stderr=%.6g ci95=[%.6g, %.6g] rse=%.4g\n",
+			name, q.Count, q.Mean, q.StdErr, q.CI95Lo, q.CI95Hi, q.RelStdErr)
 	}
 	return tw.Flush()
 }

@@ -22,6 +22,10 @@ func goldenObserver() *Observer {
 	h.Observe(0.004)
 	h.Observe(0.007)
 	h.Observe(0.25)
+	q := r.Quality("mc.quality.ExpectedConnectedPairs")
+	for _, v := range []float64{100, 104, 96, 102, 98} {
+		q.Observe(v)
+	}
 
 	attempt := &Span{
 		Name:       "attempt",

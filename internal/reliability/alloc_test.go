@@ -14,7 +14,7 @@ func TestForEachSampleSteadyStateAllocs(t *testing.T) {
 	}
 	g := randomGraph(31, 60, 140)
 	est := Estimator{Samples: 64, Seed: 1, Workers: 1}
-	visit := func(i int, sc *scratch) { sc.componentsPairs() }
+	visit := func(i int, sc *scratch) float64 { sc.componentsPairs(); return 0 }
 	// Warm-up: builds the sampler snapshot, grows the pooled scratch's
 	// bitset and DSU to this graph's size.
 	est.forEachSample(g, visit)
@@ -35,8 +35,9 @@ func TestForEachSampleWorkerIndependence(t *testing.T) {
 	collect := func(workers int) []int64 {
 		est := Estimator{Samples: 130, Seed: 3, Workers: workers}
 		out := make([]int64, est.samples())
-		est.forEachSample(g, func(i int, sc *scratch) {
+		est.forEachSample(g, func(i int, sc *scratch) float64 {
 			_, out[i] = sc.componentsPairs()
+			return float64(out[i])
 		})
 		return out
 	}

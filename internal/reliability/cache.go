@@ -170,13 +170,14 @@ func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
 		ls = new(labelSet)
 	}
 	ls.grow(nv, ns)
-	e.forEachSample(g, func(i int, sc *scratch) {
+	e.forEachSample(g, func(i int, sc *scratch) float64 {
 		d, pairs := sc.componentsPairs()
 		ls.cc[i] = pairs
 		lab := ls.lab
 		for v := 0; v < nv; v++ {
 			lab[v*ns+i] = int32(d.Find(v))
 		}
+		return float64(pairs)
 	})
 	if e.Cache != nil {
 		e.Obs.Registry().Counter("mc.label_cache.misses").Inc()

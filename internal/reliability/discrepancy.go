@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/uncertain"
 )
 
@@ -53,11 +54,15 @@ func (e Estimator) Discrepancy(g, h *uncertain.Graph) (float64, error) {
 	n := g.NumNodes()
 	nInv := 1 / float64(lg.samples)
 	var delta float64
+	var w obs.Welford
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			delta += pairAbsDiff(lg, lh, u, v, nInv)
+			d := pairAbsDiff(lg, lh, u, v, nInv)
+			delta += d
+			w.Add(d)
 		}
 	}
+	e.recordQuality("Discrepancy", w)
 	e.releaseLabels(lg)
 	e.releaseLabels(lh)
 	return delta, nil
@@ -104,9 +109,13 @@ func (e Estimator) SampledPairDiscrepancy(g, h *uncertain.Graph, ps PairSample) 
 	lh := e.sampleLabelsT(h)
 	nInv := 1 / float64(lg.samples)
 	var total float64
+	var w obs.Welford
 	for i := 0; i < pairs; i++ {
-		total += pairAbsDiff(lg, lh, us[i], vs[i], nInv)
+		d := pairAbsDiff(lg, lh, us[i], vs[i], nInv)
+		total += d
+		w.Add(d)
 	}
+	e.recordQuality("SampledPairDiscrepancy", w)
 	e.releaseLabels(lg)
 	e.releaseLabels(lh)
 	return total / float64(pairs), nil

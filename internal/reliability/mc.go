@@ -153,12 +153,22 @@ func workerName(w int) string {
 // references into the scratch past its return. fn must be safe for
 // concurrent invocation on distinct indices.
 //
+// fn returns the world's per-sample statistic (the value whose mean the
+// caller is estimating); forEachSample streams it through a Welford
+// accumulator — one per worker, merged once at the end — and returns the
+// merged state, from which callers derive the estimator's standard error
+// and confidence interval (see recordQuality). Callers with no meaningful
+// per-world statistic return 0 and drop the result. The estimates
+// themselves are never computed from the accumulator (its merge order is
+// scheduling-dependent in the parallel case); they keep their existing
+// deterministic reductions.
+//
 // Work is handed out in chunks of sampleChunk consecutive indices claimed
 // off an atomic cursor, and each worker draws worlds into a pooled scratch,
 // so the steady state allocates nothing. Metrics go through the nil-safe
 // registry path: a nil Obs yields a nil registry whose instruments drop
 // updates, so no call site guards.
-func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)) {
+func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch) float64) obs.Welford {
 	n := e.samples()
 	reg := e.Obs.Registry()
 	sampler := g.Sampler()
@@ -168,17 +178,24 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 		workers = n
 	}
 	if workers <= 1 {
+		// Separate accumulator from the parallel path's: that one is
+		// captured by the worker closures and therefore heap-allocated;
+		// this one stays on the stack, keeping the serial steady state
+		// allocation-free.
+		var stat obs.Welford
 		sc := scratchPool.Get().(*scratch)
 		for i := 0; i < n; i++ {
 			sc.pcg.Seed(e.Seed, e.streamFor(i))
 			sample(sampler, &sc.world, &sc.pcg)
-			fn(i, sc)
+			stat.Add(fn(i, sc))
 		}
 		scratchPool.Put(sc)
 		reg.Counter("mc.worlds_sampled").Add(int64(n))
 		reg.Counter(workerName(0)).Add(int64(n))
-		return
+		return stat
 	}
+	var stat obs.Welford
+	var mu sync.Mutex
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -187,6 +204,7 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 			defer wg.Done()
 			sc := scratchPool.Get().(*scratch)
 			var drawn int64
+			var local obs.Welford
 			for {
 				start := int(cursor.Add(sampleChunk)) - sampleChunk
 				if start >= n {
@@ -199,16 +217,54 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 				for i := start; i < end; i++ {
 					sc.pcg.Seed(e.Seed, e.streamFor(i))
 					sample(sampler, &sc.world, &sc.pcg)
-					fn(i, sc)
+					local.Add(fn(i, sc))
 				}
 				drawn += int64(end - start)
 			}
 			scratchPool.Put(sc)
+			mu.Lock()
+			stat.Merge(local)
+			mu.Unlock()
 			reg.Counter(workerName(w)).Add(drawn)
 		}(w)
 	}
 	wg.Wait()
 	reg.Counter("mc.worlds_sampled").Add(int64(n))
+	return stat
+}
+
+// UndersampledRSE is the relative-standard-error threshold above which an
+// estimate counts as under-sampled: the configured Monte Carlo budget left
+// more than 5% relative noise on the estimate, so downstream consumers
+// (the σ-search, the figure sweeps) are operating on a shaky number.
+const UndersampledRSE = 0.05
+
+// recordQuality publishes the statistical health of one completed estimate
+// into the registry: the pooled per-sample stream (mean/variance/CI across
+// every call), last-call standard-error and CI gauges, and the relative-SE
+// convergence gauge. Estimates whose relative SE exceeds UndersampledRSE
+// bump the mc.quality.undersampled counter and emit a debug log, flagging
+// σ-search steps and sweep cells that ran under-budgeted. Free (one
+// pointer test) with Obs nil; estimates with no spread information (fewer
+// than two samples) record nothing.
+func (e Estimator) recordQuality(op string, w obs.Welford) {
+	if e.Obs == nil || w.Count() < 2 {
+		return
+	}
+	reg := e.Obs.Registry()
+	name := "mc.quality." + op
+	reg.Quality(name).Merge(w)
+	reg.Gauge(name + ".stderr").Set(w.StdErr())
+	lo, hi := w.CI95()
+	reg.Gauge(name + ".ci95_lo").Set(lo)
+	reg.Gauge(name + ".ci95_hi").Set(hi)
+	rse := w.RelStdErr()
+	reg.Gauge(name + ".rse").Set(rse)
+	if rse > UndersampledRSE {
+		reg.Counter("mc.quality.undersampled").Inc()
+		e.Obs.Debug("mc: estimate under-sampled",
+			"op", op, "rse", rse, "samples", w.Count(), "stderr", w.StdErr())
+	}
 }
 
 // SampleLabels draws N worlds and returns their component-label vectors:
@@ -216,13 +272,14 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
 	labels := make([][]int32, e.samples())
 	nv := g.NumNodes()
-	e.forEachSample(g, func(i int, sc *scratch) {
+	e.forEachSample(g, func(i int, sc *scratch) float64 {
 		d := sc.components()
 		row := make([]int32, nv)
 		for v := range row {
 			row[v] = int32(d.Find(v))
 		}
 		labels[i] = row
+		return 0 // no scalar statistic: the label vector is the product
 	})
 	return labels
 }
@@ -234,15 +291,20 @@ func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 	n := e.samples()
 	if ls := e.cachedLabels(g); ls != nil {
 		var total float64
+		var w obs.Welford
 		for _, c := range ls.cc {
 			total += float64(c)
+			w.Add(float64(c))
 		}
+		e.recordQuality("ExpectedConnectedPairs", w)
 		return total / float64(n)
 	}
 	counts := make([]int64, n)
-	e.forEachSample(g, func(i int, sc *scratch) {
+	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		_, counts[i] = sc.componentsPairs()
+		return float64(counts[i])
 	})
+	e.recordQuality("ExpectedConnectedPairs", w)
 	var total float64
 	for _, c := range counts {
 		total += float64(c)
@@ -256,11 +318,14 @@ func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) fl
 	defer e.timeOp("PairReliability", time.Now())
 	n := e.samples()
 	hits := make([]int8, n)
-	e.forEachSample(g, func(i int, sc *scratch) {
+	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		if sc.components().Connected(int(u), int(v)) {
 			hits[i] = 1
+			return 1
 		}
+		return 0
 	})
+	e.recordQuality("PairReliability", w)
 	var total float64
 	for _, h := range hits {
 		total += float64(h)

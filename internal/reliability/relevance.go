@@ -1,6 +1,7 @@
 package reliability
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"time"
@@ -64,11 +65,13 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 
 	ar := relArenaPool.Get().(*relArena)
 	ar.grow(n, words)
-	e.forEachSample(g, func(i int, sc *scratch) {
+	ccStat := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		_, pairs := sc.componentsPairs()
 		ar.cc[i] = float64(pairs)
 		copy(ar.masks[i*words:(i+1)*words], sc.world.Bits())
+		return float64(pairs)
 	})
+	e.recordQuality("EdgeRelevance", ccStat)
 
 	// tailMask zeroes the complement's phantom bits past edge m-1.
 	tailMask := ^uint64(0)
@@ -103,6 +106,14 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 	}
 	relArenaPool.Put(ar)
 
+	// Per-edge standard error of the ERR estimate, from the pooled cc
+	// variance: Var(ERR^e) ~ Var(cc) * (1/n_e + 1/n_ne) under the grouped
+	// two-sample difference of means. Aggregated to mean/max gauges — the
+	// estimator-quality signal the σ-search precompute is judged by.
+	varCC := ccStat.Variance()
+	var seSum, seMax float64
+	seEdges := 0
+
 	err := make([]float64, m)
 	for i := 0; i < m; i++ {
 		var meanE, meanNE float64
@@ -116,6 +127,12 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 		default:
 			meanE = ccPresent[i] / float64(nPresent[i])
 			meanNE = ccAbsent[i] / float64(n-nPresent[i])
+			se := math.Sqrt(varCC * (1/float64(nPresent[i]) + 1/float64(n-nPresent[i])))
+			seSum += se
+			if se > seMax {
+				seMax = se
+			}
+			seEdges++
 		}
 		v := meanE - meanNE
 		if v < 0 {
@@ -124,6 +141,11 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 			v = 0
 		}
 		err[i] = v
+	}
+	if seEdges > 0 && e.Obs != nil {
+		reg := e.Obs.Registry()
+		reg.Gauge("err.stderr.mean").Set(seSum / float64(seEdges))
+		reg.Gauge("err.stderr.max").Set(seMax)
 	}
 	return err
 }

@@ -3,9 +3,11 @@ package chameleon
 import (
 	"os"
 	"testing"
+	"time"
 
 	"chameleon/internal/core"
 	"chameleon/internal/obs"
+	"chameleon/internal/obs/expose"
 	"chameleon/internal/reliability"
 )
 
@@ -71,5 +73,27 @@ func TestObsOverheadGuard(t *testing.T) {
 			t.Errorf("%s: disabled observability is %.1f%% slower than enabled — the no-op path regressed",
 				c.name, (ratio-1)*100)
 		}
+	}
+
+	// Serve mode: binding the exposition endpoint and letting its snapshot
+	// differ tick in the background must add <2% to the anonymize path.
+	// The ticker's only work is Registry().Snapshot() plus a map diff, off
+	// the hot path entirely.
+	plain := best(cases[0].run(obs.NewObserver()))
+	servedObs := obs.NewObserver()
+	srv := expose.New(servedObs, expose.Options{Interval: 50 * time.Millisecond})
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	served := best(cases[0].run(servedObs))
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := served / plain
+	t.Logf("%s serve-mode: plain %.0f ns/op, serving %.0f ns/op, serving/plain %.4f",
+		cases[0].name, plain, served, ratio)
+	if ratio > 1.02 {
+		t.Errorf("%s: serve mode is %.1f%% slower than a bare observer — the exposition ticker leaked onto the hot path",
+			cases[0].name, (ratio-1)*100)
 	}
 }

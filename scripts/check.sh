@@ -7,6 +7,9 @@
 #   BENCHTIME          go test -benchtime value for the perf pass (default 1s)
 #   OBS_OVERHEAD_GUARD set to 1 to also enforce the <=2% observability
 #                      overhead budget (wall-clock sensitive; off by default)
+#   SKIP_BENCH_GATE    set to 1 to skip the benchcmp regression gate
+#   BENCH_MAX_SLOWDOWN allowed ns/op growth percentage vs the committed
+#                      baseline (default 25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,51 +27,83 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
-echo "== benchmarks (instrumented hot paths) =="
-benchtime="${BENCHTIME:-1s}"
-bench_out=$(go test -run '^$' \
-    -bench 'BenchmarkObsOverhead|BenchmarkAnonymizeRSME|BenchmarkEdgeRelevance$|BenchmarkSampleWorld|BenchmarkConnectedPairs|BenchmarkObfuscationCheck|BenchmarkDiscrepancy' \
-    -benchtime "$benchtime" .)
-echo "$bench_out"
-# go bench output lines look like "BenchmarkName-8  <iters>  <ns> ns/op";
-# strip the GOMAXPROCS suffix and convert to a JSON array.
-echo "$bench_out" | awk '
+echo "== go test -race -count=2 ./internal/obs/... (telemetry layer) =="
+# The expose differ, journal writer and quality streams are the
+# concurrency-heavy additions; a dedicated double-count race pass keeps
+# them covered even if the main pass is ever narrowed.
+go test -race -count=2 ./internal/obs/...
+
+# Both BENCH artifacts share one schema — {name, ns_per_op,
+# allocs_per_op, iterations} — so cmd/benchcmp can gate either file.
+# Bench lines look like "BenchmarkName-8 <iters> <ns> ns/op ... <a>
+# allocs/op" (allocs present under -benchmem; ReportMetric columns may
+# sit in between, so allocs/op is located by scanning fields).
+emit_single='
     BEGIN { print "[" }
     $1 ~ /^Benchmark/ && $4 == "ns/op" {
         name = $1; sub(/-[0-9]+$/, "", name)
+        allocs = 0
+        for (i = 5; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
         if (n++) printf(",\n")
-        printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3)
+        printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %d, \"iterations\": %s}", name, $3, allocs, $2)
     }
     END { if (n) printf("\n"); print "]" }
-' > BENCH_obs.json
-echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) entries)"
-
-echo "== reliability benchmarks (-benchmem -count=3, allocation guard) =="
-# count=3 smooths the single-iteration noise BENCH_obs.json suffers from;
-# the JSON records the minimum ns/op across runs plus allocs/op so both
-# perf and allocation regressions are catchable.
-rel_out=$(go test -run '^$' \
-    -bench 'BenchmarkEdgeRelevance$|BenchmarkDiscrepancy$|BenchmarkDiscrepancyUncached|BenchmarkWorldSamplerInto|BenchmarkComponentsInto|BenchmarkSampleWorld$|BenchmarkConnectedPairs$' \
-    -benchmem -count=3 -benchtime "$benchtime" .)
-echo "$rel_out"
-echo "$rel_out" | awk '
+'
+emit_min='
     $1 ~ /^Benchmark/ && $4 == "ns/op" {
         name = $1; sub(/-[0-9]+$/, "", name)
-        if (!(name in ns) || $3+0 < ns[name]) { ns[name] = $3+0; raw[name] = $3 }
-        allocs[name] = $7+0
+        a = 0
+        for (i = 5; i <= NF; i++) if ($i == "allocs/op") a = $(i-1)
+        if (!(name in ns) || $3+0 < ns[name]) { ns[name] = $3+0; raw[name] = $3; iters[name] = $2 }
+        allocs[name] = a+0
         if (!(name in order)) { order[name] = ++n; names[n] = name }
     }
     END {
         print "["
         for (i = 1; i <= n; i++) {
             name = names[i]
-            printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %d}%s\n",
-                   name, raw[name], allocs[name], i < n ? "," : "")
+            printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %d, \"iterations\": %s}%s\n",
+                   name, raw[name], allocs[name], iters[name], i < n ? "," : "")
         }
         print "]"
     }
-' > BENCH_reliability.json
+'
+
+echo "== benchmarks (instrumented hot paths) =="
+benchtime="${BENCHTIME:-1s}"
+bench_out=$(go test -run '^$' \
+    -bench 'BenchmarkObsOverhead|BenchmarkAnonymizeRSME|BenchmarkEdgeRelevance$|BenchmarkSampleWorld|BenchmarkConnectedPairs|BenchmarkObfuscationCheck|BenchmarkDiscrepancy' \
+    -benchmem -benchtime "$benchtime" .)
+echo "$bench_out"
+echo "$bench_out" | awk "$emit_single" > BENCH_obs.json
+echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) entries)"
+
+echo "== reliability benchmarks (-benchmem -count=3, allocation guard) =="
+# count=3 smooths the single-iteration noise BENCH_obs.json suffers from;
+# the JSON records the minimum ns/op across runs (with that run's
+# iteration count) plus allocs/op so both perf and allocation regressions
+# are catchable.
+rel_out=$(go test -run '^$' \
+    -bench 'BenchmarkEdgeRelevance$|BenchmarkDiscrepancy$|BenchmarkDiscrepancyUncached|BenchmarkWorldSamplerInto|BenchmarkComponentsInto|BenchmarkSampleWorld$|BenchmarkConnectedPairs$' \
+    -benchmem -count=3 -benchtime "$benchtime" .)
+echo "$rel_out"
+echo "$rel_out" | awk "$emit_min" > BENCH_reliability.json
 echo "wrote BENCH_reliability.json ($(grep -c '"name"' BENCH_reliability.json) entries)"
+
+echo "== benchmark regression gate (vs committed baseline) =="
+if [ "${SKIP_BENCH_GATE:-}" = "1" ]; then
+    echo "SKIP_BENCH_GATE=1: regression gate skipped"
+else
+    basedir=$(mktemp -d)
+    trap 'rm -rf "$basedir"' EXIT
+    for f in BENCH_obs.json BENCH_reliability.json; do
+        if git show "HEAD:$f" > "$basedir/$f" 2>/dev/null; then
+            go run ./cmd/benchcmp -max-slowdown "${BENCH_MAX_SLOWDOWN:-25}" "$basedir/$f" "$f"
+        else
+            echo "no committed baseline for $f; gate skipped for this file"
+        fi
+    done
+fi
 
 # The world-sampling and union kernels must stay allocation-free on the
 # steady state (the tentpole guarantee of the bitset world engine).
