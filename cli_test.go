@@ -315,6 +315,21 @@ poll:
 			}
 			sawQuality = sawQuality || strings.Contains(body, "chameleon_mc_quality_")
 			sawERRStderr = sawERRStderr || strings.Contains(body, "chameleon_err_stderr_mean")
+			// A repeated # TYPE line aborts a real Prometheus scrape (the
+			// quality-stream expansion and the estimator's last-call gauges
+			// must never land on the same name).
+			typed := map[string]bool{}
+			for _, line := range strings.Split(body, "\n") {
+				name, ok := strings.CutPrefix(line, "# TYPE ")
+				if !ok {
+					continue
+				}
+				name, _, _ = strings.Cut(name, " ")
+				if typed[name] {
+					t.Fatalf("/metrics scrape has duplicate # TYPE for %s", name)
+				}
+				typed[name] = true
+			}
 		}
 	}
 	if scrapes == 0 {

@@ -77,6 +77,24 @@ func main() {
 		}
 	}
 	var srv *chameleon.TelemetryServer
+
+	// fatal marks the run "failed" before exiting — in /runs and, when a
+	// journal is open, with a final "end" record carrying the snapshot at
+	// the point of failure — so failed runs are distinguishable from
+	// truncated in-flight ones. Safe at any point: srv and jw are nil-safe
+	// until their features are enabled.
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "chameleon:", err)
+		srv.Poll()
+		srv.SetRunStatus(runID, "failed")
+		srv.Close()
+		if jw != nil {
+			jw.End(time.Now(), "failed", obs.Registry().Snapshot())
+			jw.Close()
+		}
+		os.Exit(1)
+	}
+
 	if *serveAt != "" {
 		opts := chameleon.TelemetryOptions{}
 		if jw != nil {
@@ -91,16 +109,14 @@ func main() {
 		srv.AddRun(chameleon.RunInfo{ID: runID, Command: "chameleon", Args: os.Args[1:], Start: time.Now(), Status: "running"})
 		addr, err := srv.Start(*serveAt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "chameleon: serving telemetry on http://%s/metrics\n", addr)
 	}
 
 	g, err := chameleon.LoadGraph(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chameleon:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	obs.Log("loaded graph", "path", *in, "nodes", g.NumNodes(), "edges", g.NumEdges())
 
@@ -115,15 +131,13 @@ func main() {
 		Observer: obs,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chameleon:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	elapsed := time.Since(start)
 
 	if *out == "" {
 		if err := chameleon.WriteGraph(os.Stdout, res.Graph); err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	} else {
 		save := chameleon.SaveGraph
@@ -131,8 +145,7 @@ func main() {
 			save = chameleon.SaveGraphBinary
 		}
 		if err := save(*out, res.Graph); err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	if !*quiet {

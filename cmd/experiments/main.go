@@ -29,6 +29,16 @@ import (
 	"chameleon/internal/obs/journal"
 )
 
+// Run-scoped telemetry handles, package-level so fail can mark the run
+// "failed" (in /runs and the journal) from any exit path. All are nil-safe
+// zero values until their flags enable them.
+var (
+	observer *obs.Observer
+	jw       *journal.Writer
+	srv      *expose.Server
+	runID    string
+)
+
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "miniature datasets and reduced sampling budgets")
@@ -50,7 +60,6 @@ func main() {
 	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf, *trcPath)
 	fail(err)
 
-	var observer *obs.Observer
 	if *stats != "" || *verbose || *serveAt != "" || *jrnPath != "" {
 		observer = obs.NewObserver()
 		if *verbose {
@@ -58,15 +67,12 @@ func main() {
 		}
 	}
 
-	var jw *journal.Writer
-	var runID string
 	if *jrnPath != "" {
 		jw, err = journal.Open(*jrnPath)
 		fail(err)
 		runID, err = jw.Begin("experiments", os.Args[1:], time.Now())
 		fail(err)
 	}
-	var srv *expose.Server
 	if *serveAt != "" {
 		opts := expose.Options{}
 		if jw != nil {
@@ -253,9 +259,26 @@ func runAblations(cfg exp.Config, out *os.File) {
 	fmt.Fprintln(out)
 }
 
+// fail exits on a non-nil error after marking the run "failed": the /runs
+// entry flips status, and an open journal gets a final "end" record with
+// the snapshot at the point of failure, so failed runs are
+// distinguishable from truncated in-flight ones. Nil-safe at every stage
+// of startup: srv, jw and observer may still be their zero values.
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	srv.Poll()
+	srv.SetRunStatus(runID, "failed")
+	srv.Close()
+	if jw != nil {
+		var final obs.Snapshot
+		if observer != nil {
+			final = observer.Registry().Snapshot()
+		}
+		jw.End(time.Now(), "failed", final)
+		jw.Close()
+	}
+	os.Exit(1)
 }

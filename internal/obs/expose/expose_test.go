@@ -30,6 +30,11 @@ func testObserver() *obs.Observer {
 	for _, v := range []float64{100, 104, 96, 102, 98} {
 		q.Observe(v)
 	}
+	// The last-call companion gauges recordQuality writes next to the
+	// pooled stream: their sanitized names must coexist with the stream's
+	// own _stderr/_ci95_* expansion on one scrape.
+	r.Gauge("mc.quality.ExpectedConnectedPairs.last_stderr").Set(0.7)
+	r.Gauge("mc.quality.ExpectedConnectedPairs.last_rse").Set(0.007)
 	return o
 }
 
@@ -66,19 +71,31 @@ func TestMetricsEndpointFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The Prometheus text parser aborts the whole scrape on a repeated
+	// "# TYPE" line or sample name, so duplicates are hard failures here.
 	samples := map[string]float64{}
+	typed := map[string]bool{}
 	var bucketLines []string
 	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
 		if strings.HasPrefix(line, "#") {
-			if !typeLine.MatchString(line) {
+			tm := typeLine.FindStringSubmatch(line)
+			if tm == nil {
 				t.Errorf("malformed comment line: %q", line)
+				continue
 			}
+			if typed[tm[1]] {
+				t.Errorf("duplicate # TYPE for metric %s", tm[1])
+			}
+			typed[tm[1]] = true
 			continue
 		}
 		m := metricLine.FindStringSubmatch(line)
 		if m == nil {
 			t.Errorf("malformed sample line: %q", line)
 			continue
+		}
+		if _, dup := samples[m[1]+m[2]]; dup {
+			t.Errorf("duplicate sample %s%s", m[1], m[2])
 		}
 		v, _ := strconv.ParseFloat(m[3], 64)
 		samples[m[1]+m[2]] = v
@@ -103,6 +120,10 @@ func TestMetricsEndpointFormat(t *testing.T) {
 		"chameleon_mc_worlds_sampled_per_second":                 samples["chameleon_mc_worlds_sampled_per_second"],
 		"chameleon_mc_quality_ExpectedConnectedPairs_stderr":     math.Sqrt(10) / math.Sqrt(5),
 		"chameleon_mc_quality_ExpectedConnectedPairs_rel_stderr": math.Sqrt(10) / math.Sqrt(5) / 100,
+
+		// Last-call companion gauges alongside the pooled expansion.
+		"chameleon_mc_quality_ExpectedConnectedPairs_last_stderr": 0.7,
+		"chameleon_mc_quality_ExpectedConnectedPairs_last_rse":    0.007,
 	}
 	for name, v := range want {
 		got, ok := samples[name]
@@ -284,6 +305,63 @@ func TestNilServerSafety(t *testing.T) {
 	s.SetRunStatus("x", "done")
 	if err := s.Close(); err != nil {
 		t.Errorf("nil server Close: %v", err)
+	}
+}
+
+// TestNoDuplicateMetricNames: distinct registry names that sanitize or
+// expand to the same exposition name must yield exactly one family — a
+// repeated # TYPE line or sample name aborts a Prometheus scrape. The
+// colliding inputs here are a gauge shadowing a quality stream's _stderr
+// expansion (the recordQuality-vs-expansion hazard), two gauges that
+// sanitize identically, and a counter whose _per_second rate gauge lands
+// on an existing gauge name.
+func TestNoDuplicateMetricNames(t *testing.T) {
+	o := obs.NewObserver()
+	r := o.Registry()
+	q := r.Quality("mc.quality.ERR")
+	q.Observe(1)
+	q.Observe(3)
+	r.Gauge("mc.quality.ERR.stderr").Set(99)  // collides with the stream's _stderr expansion
+	r.Gauge("dotted.name").Set(1)             // and its underscore twin:
+	r.Gauge("dotted_name").Set(2)             //   both sanitize to dotted_name
+	r.Counter("work.items").Add(5)            // rate gauge work_items_per_second ...
+	r.Gauge("work.items_per_second").Set(123) // ... collides with this gauge
+
+	var sb strings.Builder
+	err := WritePrometheus(&sb, "ns", o.Registry().Snapshot(), map[string]float64{"work.items": 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]bool{}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if tm := typeLine.FindStringSubmatch(line); tm != nil {
+			if typed[tm[1]] {
+				t.Errorf("duplicate # TYPE for metric %s", tm[1])
+			}
+			typed[tm[1]] = true
+			continue
+		}
+		m := metricLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed line: %q", line)
+			continue
+		}
+		if seen[m[1]+m[2]] {
+			t.Errorf("duplicate sample %s%s", m[1], m[2])
+		}
+		seen[m[1]+m[2]] = true
+	}
+	// First family in emission order wins: the gauge beats the quality
+	// expansion and the rate, the lexically first gauge beats its twin.
+	if !strings.Contains(sb.String(), "ns_mc_quality_ERR_stderr 99\n") {
+		t.Error("gauge did not win the colliding mc_quality_ERR_stderr name")
+	}
+	if !strings.Contains(sb.String(), "ns_work_items_per_second 123\n") {
+		t.Error("gauge did not win the colliding work_items_per_second name")
+	}
+	if !seen["ns_mc_quality_ERR_mean"] {
+		t.Error("non-colliding quality expansion suffixes were dropped")
 	}
 }
 

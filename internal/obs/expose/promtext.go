@@ -17,15 +17,27 @@ import (
 // are namespaced and sanitized (every character outside [a-zA-Z0-9_:]
 // becomes '_'), and families are emitted in sorted order so the output is
 // deterministic for a given snapshot.
+//
+// Each metric name is emitted at most once: distinct registry names can
+// sanitize or expand to the same exposition name (e.g. a gauge "a.b_c"
+// next to a gauge "a.b.c", or a gauge shadowing a quality stream's
+// derived suffixes), and the Prometheus text parser rejects a scrape that
+// repeats a "# TYPE" line or a sample name. First family in emission
+// order (counters, gauges, quality, histograms, rates) wins; later
+// claims are dropped.
 func WritePrometheus(w io.Writer, namespace string, s obs.Snapshot, rates map[string]float64) error {
-	p := &promWriter{w: w, ns: namespace}
+	p := &promWriter{w: w, ns: namespace, seen: map[string]bool{}}
 
 	for _, name := range sortedKeys(s.Counters) {
-		p.family(name, "counter")
+		if !p.family(name, "counter") {
+			continue
+		}
 		p.sample(p.name(name), "", float64(s.Counters[name]))
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		p.family(name, "gauge")
+		if !p.family(name, "gauge") {
+			continue
+		}
 		p.sample(p.name(name), "", s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Quality) {
@@ -42,14 +54,24 @@ func WritePrometheus(w io.Writer, namespace string, s obs.Snapshot, rates map[st
 			{"_ci95_hi", q.CI95Hi},
 			{"_rel_stderr", q.RelStdErr},
 		} {
-			fmt.Fprintf(p.w, "# TYPE %s%s gauge\n", base, part.suffix)
+			if !p.claim(base + part.suffix) {
+				continue
+			}
+			if p.err == nil {
+				_, p.err = fmt.Fprintf(p.w, "# TYPE %s%s gauge\n", base, part.suffix)
+			}
 			p.sample(base+part.suffix, "", part.value)
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		p.family(name, "histogram")
 		base := p.name(name)
+		if !p.claimAll(base, base+"_bucket", base+"_sum", base+"_count") {
+			continue
+		}
+		if p.err == nil {
+			_, p.err = fmt.Fprintf(p.w, "# TYPE %s histogram\n", base)
+		}
 		var cum int64
 		seenInf := false
 		for _, b := range h.Buckets {
@@ -67,16 +89,46 @@ func WritePrometheus(w io.Writer, namespace string, s obs.Snapshot, rates map[st
 	}
 	for _, name := range sortedKeys(rates) {
 		rateName := p.name(name) + "_per_second"
-		fmt.Fprintf(p.w, "# TYPE %s gauge\n", rateName)
+		if !p.claim(rateName) {
+			continue
+		}
+		if p.err == nil {
+			_, p.err = fmt.Fprintf(p.w, "# TYPE %s gauge\n", rateName)
+		}
 		p.sample(rateName, "", rates[name])
 	}
 	return p.err
 }
 
 type promWriter struct {
-	w   io.Writer
-	ns  string
-	err error
+	w    io.Writer
+	ns   string
+	seen map[string]bool
+	err  error
+}
+
+// claim reserves an exposition metric name, returning false if an earlier
+// family already emitted it.
+func (p *promWriter) claim(name string) bool {
+	if p.seen[name] {
+		return false
+	}
+	p.seen[name] = true
+	return true
+}
+
+// claimAll reserves a set of names atomically: either every name was free
+// and is now claimed, or none is touched.
+func (p *promWriter) claimAll(names ...string) bool {
+	for _, n := range names {
+		if p.seen[n] {
+			return false
+		}
+	}
+	for _, n := range names {
+		p.seen[n] = true
+	}
+	return true
 }
 
 // name builds the namespaced, sanitized metric name.
@@ -84,10 +136,17 @@ func (p *promWriter) name(raw string) string {
 	return p.ns + "_" + sanitizeMetricName(raw)
 }
 
-func (p *promWriter) family(raw, typ string) {
-	if p.err == nil {
-		_, p.err = fmt.Fprintf(p.w, "# TYPE %s %s\n", p.name(raw), typ)
+// family claims the sanitized name and writes its # TYPE line, returning
+// false (emitting nothing) when the name was already taken.
+func (p *promWriter) family(raw, typ string) bool {
+	name := p.name(raw)
+	if !p.claim(name) {
+		return false
 	}
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, "# TYPE %s %s\n", name, typ)
+	}
+	return true
 }
 
 func (p *promWriter) sample(name, label string, v float64) {

@@ -232,6 +232,9 @@ func Read(r io.Reader) ([]*Run, error) {
 			}
 			run.Snapshots = append(run.Snapshots, SnapshotPoint{At: rec.At, Snapshot: *rec.Snapshot, Rates: rec.Rates})
 		case "span":
+			if rec.Span == nil {
+				return nil, fmt.Errorf("journal: line %d: span record without span", line)
+			}
 			run.Spans = append(run.Spans, rec.Span)
 		case "end":
 			run.End, run.Status, run.Final = rec.At, rec.Status, rec.Snapshot

@@ -239,6 +239,16 @@ func TestTruncatedAndMalformed(t *testing.T) {
 	if _, err := Read(strings.NewReader(`{"type":"wat","run_id":"x"}` + "\n")); err == nil || !strings.Contains(err.Error(), "wat") {
 		t.Errorf("unknown type error = %v", err)
 	}
+
+	// Payload-less snapshot and span records are malformed, not nil
+	// entries: a nil in Run.Snapshots/Run.Spans would surface as "null" in
+	// journalreplay -json and panic any consumer that dereferences it.
+	if _, err := Read(strings.NewReader(`{"type":"snapshot","run_id":"x"}` + "\n")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("snapshot-without-snapshot error = %v, want line-numbered error", err)
+	}
+	if _, err := Read(strings.NewReader(`{"type":"span","run_id":"x"}` + "\n")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("span-without-span error = %v, want line-numbered error", err)
+	}
 }
 
 // TestNilWriterSafety: every method on a nil *Writer no-ops, so the CLIs

@@ -62,7 +62,9 @@ func (e Estimator) Discrepancy(g, h *uncertain.Graph) (float64, error) {
 			w.Add(d)
 		}
 	}
-	e.recordQuality("Discrepancy", w)
+	// Per-pair values share the same N worlds and are correlated, so this
+	// is a spread diagnostic, not Monte Carlo error: see recordPairSpread.
+	e.recordPairSpread("Discrepancy", w)
 	e.releaseLabels(lg)
 	e.releaseLabels(lh)
 	return delta, nil
@@ -115,7 +117,11 @@ func (e Estimator) SampledPairDiscrepancy(g, h *uncertain.Graph, ps PairSample) 
 		total += d
 		w.Add(d)
 	}
-	e.recordQuality("SampledPairDiscrepancy", w)
+	// Pairs are drawn iid, so this stream's stderr bounds the PAIR-sampling
+	// error of the mean conditional on the drawn worlds; it says nothing
+	// about world-sampling convergence (all pairs reuse the same N worlds),
+	// hence pairspread rather than quality: see recordPairSpread.
+	e.recordPairSpread("SampledPairDiscrepancy", w)
 	e.releaseLabels(lg)
 	e.releaseLabels(lh)
 	return total / float64(pairs), nil

@@ -247,20 +247,46 @@ const UndersampledRSE = 0.05
 // σ-search steps and sweep cells that ran under-budgeted. Free (one
 // pointer test) with Obs nil; estimates with no spread information (fewer
 // than two samples) record nothing.
+//
+// The accumulator must hold per-WORLD statistics (one observation per
+// sampled world, the forEachSample contract) so that stderr is the Monte
+// Carlo error of the estimate. Per-pair discrepancy values do not qualify
+// — see recordPairSpread.
 func (e Estimator) recordQuality(op string, w obs.Welford) {
+	e.recordStream("mc.quality."+op, op, w, true)
+}
+
+// recordPairSpread publishes the dispersion of per-PAIR values under
+// mc.pairspread.<op>. Every pair is evaluated against the SAME N sampled
+// worlds, so the values are correlated and the stream's stderr/CI are NOT
+// the Monte Carlo error of the estimate: for Discrepancy (all pairs) they
+// are a pure dispersion diagnostic, and for SampledPairDiscrepancy they
+// bound only the pair-sampling error conditional on the drawn worlds,
+// excluding world-sampling noise. These streams therefore never feed the
+// mc.quality.undersampled convergence flag.
+func (e Estimator) recordPairSpread(op string, w obs.Welford) {
+	e.recordStream("mc.pairspread."+op, op, w, false)
+}
+
+// recordStream merges the accumulator into the named quality stream and
+// sets the last-call gauges. The gauge names carry a "last_" prefix so
+// their sanitized /metrics forms (mc_quality_X_last_stderr, ...) never
+// collide with the stream's own pooled expansion (mc_quality_X_stderr,
+// ...) — a collision would duplicate metric families and abort Prometheus
+// scrapes. convergence gates the under-sampled flag.
+func (e Estimator) recordStream(name, op string, w obs.Welford, convergence bool) {
 	if e.Obs == nil || w.Count() < 2 {
 		return
 	}
 	reg := e.Obs.Registry()
-	name := "mc.quality." + op
 	reg.Quality(name).Merge(w)
-	reg.Gauge(name + ".stderr").Set(w.StdErr())
+	reg.Gauge(name + ".last_stderr").Set(w.StdErr())
 	lo, hi := w.CI95()
-	reg.Gauge(name + ".ci95_lo").Set(lo)
-	reg.Gauge(name + ".ci95_hi").Set(hi)
+	reg.Gauge(name + ".last_ci95_lo").Set(lo)
+	reg.Gauge(name + ".last_ci95_hi").Set(hi)
 	rse := w.RelStdErr()
-	reg.Gauge(name + ".rse").Set(rse)
-	if rse > UndersampledRSE {
+	reg.Gauge(name + ".last_rse").Set(rse)
+	if convergence && rse > UndersampledRSE {
 		reg.Counter("mc.quality.undersampled").Inc()
 		e.Obs.Debug("mc: estimate under-sampled",
 			"op", op, "rse", rse, "samples", w.Count(), "stderr", w.StdErr())

@@ -28,7 +28,9 @@ func TestQualityRecorded(t *testing.T) {
 		"mc.quality.ExpectedConnectedPairs",
 		"mc.quality.PairReliability",
 		"mc.quality.EdgeRelevance",
-		"mc.quality.SampledPairDiscrepancy",
+		// Per-pair discrepancy values are correlated across the shared
+		// worlds, so they publish as pairspread, not quality.
+		"mc.pairspread.SampledPairDiscrepancy",
 	} {
 		q, ok := snap.Quality[op]
 		if !ok {
@@ -41,11 +43,14 @@ func TestQualityRecorded(t *testing.T) {
 		if q.CI95Lo > q.Mean || q.CI95Hi < q.Mean {
 			t.Errorf("%s: CI [%v, %v] does not bracket mean %v", op, q.CI95Lo, q.CI95Hi, q.Mean)
 		}
-		for _, gauge := range []string{".stderr", ".ci95_lo", ".ci95_hi", ".rse"} {
+		for _, gauge := range []string{".last_stderr", ".last_ci95_lo", ".last_ci95_hi", ".last_rse"} {
 			if _, ok := snap.Gauges[op+gauge]; !ok {
 				t.Errorf("missing gauge %s%s", op, gauge)
 			}
 		}
+	}
+	if _, ok := snap.Quality["mc.quality.SampledPairDiscrepancy"]; ok {
+		t.Error("per-pair discrepancy leaked into the mc.quality namespace")
 	}
 
 	// The ExpectedConnectedPairs stream's mean is the estimate itself
@@ -122,12 +127,38 @@ func TestUndersampledFlagged(t *testing.T) {
 	est := Estimator{Samples: 4, Seed: 2, Obs: o}
 	est.ExpectedConnectedPairs(g)
 	snap := o.Registry().Snapshot()
-	rse := snap.Gauges["mc.quality.ExpectedConnectedPairs.rse"]
+	rse := snap.Gauges["mc.quality.ExpectedConnectedPairs.last_rse"]
 	if rse <= UndersampledRSE {
 		t.Skipf("4-sample estimate happened to converge (rse=%v); nothing to flag", rse)
 	}
 	if snap.Counters["mc.quality.undersampled"] == 0 {
 		t.Errorf("rse=%v above threshold but undersampled counter not bumped", rse)
+	}
+}
+
+// TestPairSpreadNotConvergence: the pairspread streams measure per-pair
+// spread over a shared world sample, not Monte Carlo error, so they must
+// never trip the mc.quality.undersampled convergence flag — however noisy
+// the per-pair values are.
+func TestPairSpreadNotConvergence(t *testing.T) {
+	g := randomGraph(61, 50, 70)
+	h := randomGraph(62, 50, 65)
+	o := obs.NewObserver()
+	est := Estimator{Samples: 100, Seed: 6, Obs: o}
+	if _, err := est.SampledPairDiscrepancy(g, h, PairSample{Pairs: 200, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Registry().Snapshot()
+	q, ok := snap.Quality["mc.pairspread.SampledPairDiscrepancy"]
+	if !ok || q.Count != 200 {
+		t.Fatalf("pairspread stream = %+v (ok=%v), want 200 observations", q, ok)
+	}
+	if rse := snap.Gauges["mc.pairspread.SampledPairDiscrepancy.last_rse"]; rse > UndersampledRSE {
+		if snap.Counters["mc.quality.undersampled"] != 0 {
+			t.Errorf("pairspread rse=%v bumped the undersampled convergence counter", rse)
+		}
+	} else {
+		t.Logf("pairspread rse=%v below threshold; counter check vacuous", rse)
 	}
 }
 
