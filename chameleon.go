@@ -1,6 +1,7 @@
 package chameleon
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -141,7 +142,27 @@ type Options struct {
 	// logs from the run (the search trace in Result.Trace is recorded
 	// either way).
 	Observer *Observer
+	// CheckpointPath, when non-empty, snapshots the σ-search state there
+	// atomically whenever the run is interrupted (and periodically, per
+	// CheckpointEvery), so the search can be resumed.
+	CheckpointPath string
+	// CheckpointEvery additionally checkpoints every N GenObf calls
+	// (0 = only on interrupt). Requires CheckpointPath.
+	CheckpointEvery int
+	// Resume restores a checkpoint written by an earlier interrupted run
+	// over the same graph and parameters; the resumed search replays the
+	// remaining work deterministically, so its result is bit-identical to
+	// an uninterrupted run.
+	Resume *Checkpoint
 }
+
+// Checkpoint is a versioned snapshot of an interrupted σ-search; see
+// Options.CheckpointPath and Options.Resume.
+type Checkpoint = core.Checkpoint
+
+// LoadCheckpoint reads a σ-search checkpoint written by an interrupted
+// run (Options.CheckpointPath); pass it via Options.Resume.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
 
 // Result is the outcome of a successful anonymization.
 type Result struct {
@@ -166,21 +187,40 @@ func (r *Result) Trace() *Trace { return r.trace }
 
 func (o Options) coreParams() core.Params {
 	return core.Params{
-		K:              o.K,
-		Epsilon:        o.Epsilon,
-		Samples:        o.Samples,
-		Seed:           o.Seed,
-		Workers:        o.Workers,
-		Attempts:       o.Attempts,
-		SizeMultiplier: o.SizeMultiplier,
-		WhiteNoise:     o.WhiteNoise,
-		Obs:            o.Observer,
+		K:               o.K,
+		Epsilon:         o.Epsilon,
+		Samples:         o.Samples,
+		Seed:            o.Seed,
+		Workers:         o.Workers,
+		Attempts:        o.Attempts,
+		SizeMultiplier:  o.SizeMultiplier,
+		WhiteNoise:      o.WhiteNoise,
+		Obs:             o.Observer,
+		CheckpointPath:  o.CheckpointPath,
+		CheckpointEvery: o.CheckpointEvery,
+		Resume:          o.Resume,
 	}
 }
 
 // Anonymize publishes g under (K, Epsilon)-obfuscation with the selected
-// method, minimizing reliability distortion.
+// method, minimizing reliability distortion. It cannot be interrupted;
+// see AnonymizeContext.
 func Anonymize(g *Graph, o Options) (*Result, error) {
+	res, err := AnonymizeContext(context.Background(), g, o)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// AnonymizeContext is Anonymize under a context: cancelling ctx stops the
+// run cooperatively at sampling and search boundaries. An interrupted run
+// returns a NON-nil *Result carrying the best obfuscation found so far
+// (its Graph is nil when none was found yet) together with an error
+// wrapping ctx.Err() — callers that want graceful degradation check the
+// partial result before giving up. With Options.CheckpointPath set, the
+// interrupted search state is also saved for Options.Resume.
+func AnonymizeContext(ctx context.Context, g *Graph, o Options) (*Result, error) {
 	if o.Method == "" {
 		o.Method = MethodRSME
 	}
@@ -192,23 +232,23 @@ func Anonymize(g *Graph, o Options) (*Result, error) {
 	switch o.Method {
 	case MethodRSME:
 		p.Variant = core.RSME
-		res, err = core.Anonymize(g, p)
+		res, err = core.AnonymizeContext(ctx, g, p)
 	case MethodRS:
 		p.Variant = core.RS
-		res, err = core.Anonymize(g, p)
+		res, err = core.AnonymizeContext(ctx, g, p)
 	case MethodME:
 		p.Variant = core.ME
-		res, err = core.Anonymize(g, p)
+		res, err = core.AnonymizeContext(ctx, g, p)
 	case MethodRepAn:
-		res, err = repan.Anonymize(g, p)
+		res, err = repan.AnonymizeContext(ctx, g, p)
 	default:
 		return nil, fmt.Errorf("chameleon: unknown method %q", o.Method)
 	}
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	o.Observer.AttachSpan(res.Trace)
-	return &Result{Graph: res.Graph, EpsilonTilde: res.EpsilonTilde, Sigma: res.Sigma, Method: o.Method, trace: res.Trace}, nil
+	return &Result{Graph: res.Graph, EpsilonTilde: res.EpsilonTilde, Sigma: res.Sigma, Method: o.Method, trace: res.Trace}, err
 }
 
 // PrivacyReport describes how well a published graph obfuscates the

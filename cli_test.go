@@ -2,7 +2,9 @@ package chameleon
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -381,4 +383,230 @@ poll:
 			t.Errorf("journalreplay output missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// TestCLIInterrupt drives the interrupt-safety contract end to end, per
+// the runner's conventions: a SIGINT mid-run exits 130 with a journal end
+// record of status "interrupted" and a valid atomic checkpoint on disk,
+// and resuming from that checkpoint reproduces the uninterrupted run's
+// output bit for bit. Skipped in -short mode.
+func TestCLIInterrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI interrupt test skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"genug", "chameleon", "experiments"} {
+		bin := filepath.Join(dir, tool)
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bins[tool] = bin
+	}
+
+	// waitThenInterrupt polls until the checkpoint at path passes valid
+	// (atomic writes mean a reader never sees a half-written file), then
+	// delivers SIGINT to cmd. The poll budget is generous: the runs below
+	// hold many seconds of work beyond their first checkpoint write, so
+	// the only way to flake is a machine too slow to run the suite at all.
+	waitThenInterrupt := func(t *testing.T, cmd *exec.Cmd, path string, valid func([]byte) bool) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			if data, err := os.ReadFile(path); err == nil && valid(data) {
+				break
+			}
+			if time.Now().After(deadline) {
+				cmd.Process.Kill()
+				cmd.Wait()
+				t.Fatalf("no valid checkpoint appeared at %s", path)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatalf("delivering SIGINT: %v", err)
+		}
+	}
+	wantExit := func(t *testing.T, err error, code int, stderr *bytes.Buffer) {
+		t.Helper()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != code {
+			t.Fatalf("exit = %v, want code %d\nstderr:\n%s", err, code, stderr)
+		}
+	}
+
+	// Sweep interruption: experiments checkpoints finished cells, the
+	// journal closes with an "interrupted" end record, and rerunning with
+	// the same flags resumes and reproduces the uninterrupted stdout.
+	t.Run("sweep", func(t *testing.T) {
+		journalPath := filepath.Join(dir, "sweep.jsonl")
+		ckptPath := filepath.Join(dir, "cells.json")
+		sweepArgs := []string{"-quick", "-run", "fig8", "-samples", "40", "-seed", "7"}
+
+		baseline, err := exec.Command(bins["experiments"], sweepArgs...).Output()
+		if err != nil {
+			t.Fatalf("uninterrupted sweep: %v", err)
+		}
+
+		args := append(sweepArgs, "-journal", journalPath, "-checkpoint", ckptPath)
+		cmd := exec.Command(bins["experiments"], args...)
+		var stderr bytes.Buffer
+		cmd.Stdout = io.Discard
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		type cellFile struct {
+			Version int                        `json:"version"`
+			Cells   map[string]json.RawMessage `json:"cells"`
+		}
+		waitThenInterrupt(t, cmd, ckptPath, func(data []byte) bool {
+			var f cellFile
+			return json.Unmarshal(data, &f) == nil && len(f.Cells) >= 1
+		})
+		wantExit(t, cmd.Wait(), 130, &stderr)
+
+		// The checkpoint survives the interrupt and is valid JSON holding
+		// at least one finished cell.
+		data, err := os.ReadFile(ckptPath)
+		if err != nil {
+			t.Fatalf("checkpoint after interrupt: %v", err)
+		}
+		var cells cellFile
+		if err := json.Unmarshal(data, &cells); err != nil {
+			t.Fatalf("checkpoint is not valid JSON: %v", err)
+		}
+		if cells.Version != 1 || len(cells.Cells) == 0 {
+			t.Fatalf("checkpoint version=%d cells=%d, want version 1 with cells", cells.Version, len(cells.Cells))
+		}
+
+		// The journal got a proper goodbye, not a truncated tail.
+		runs, err := journal.ReadFile(journalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 1 || runs[0].Status != "interrupted" {
+			t.Fatalf("journal after interrupt = %d runs, status %q; want 1 interrupted", len(runs), runs[0].Status)
+		}
+		if runs[0].Truncated() || runs[0].Error == "" {
+			t.Fatalf("interrupted run: truncated=%v error=%q, want end record with cause", runs[0].Truncated(), runs[0].Error)
+		}
+
+		// Rerunning with the same flags resumes the sweep and reproduces
+		// the uninterrupted output exactly (only the timing line differs).
+		cmd = exec.Command(bins["experiments"], args...)
+		var resumedOut, resumedErr bytes.Buffer
+		cmd.Stdout = &resumedOut
+		cmd.Stderr = &resumedErr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("resumed sweep: %v\n%s", err, resumedErr.String())
+		}
+		if !strings.Contains(resumedErr.String(), "resuming sweep") {
+			t.Errorf("resumed sweep did not announce restored cells:\n%s", resumedErr.String())
+		}
+		if got, want := stripTiming(resumedOut.String()), stripTiming(string(baseline)); got != want {
+			t.Errorf("resumed sweep output differs from uninterrupted run:\n--- resumed\n%s--- uninterrupted\n%s", got, want)
+		}
+		if _, err := os.Stat(ckptPath); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("completed sweep left its checkpoint behind (stat err: %v)", err)
+		}
+		runs, err = journal.ReadFile(journalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 2 || runs[1].Status != "done" {
+			t.Fatalf("journal after resume = %d runs, last status %q; want 2 with done", len(runs), runs[len(runs)-1].Status)
+		}
+	})
+
+	// Sigma-search interruption: chameleon checkpoints the search state
+	// (every call, via -checkpoint-every 1), SIGINT stops it at the next
+	// safe point, and -resume finishes the search with an output graph
+	// bit-identical to the uninterrupted run.
+	t.Run("sigma-search", func(t *testing.T) {
+		graphPath := filepath.Join(dir, "big.tsv")
+		basePath := filepath.Join(dir, "base.tsv")
+		resumedPath := filepath.Join(dir, "resumed.tsv")
+		ckptPath := filepath.Join(dir, "sigma.json")
+		if out, err := exec.Command(bins["genug"], "-topology", "ba", "-nodes", "3000",
+			"-degree", "5", "-probs", "uniform", "-seed", "7", "-o", graphPath).CombinedOutput(); err != nil {
+			t.Fatalf("genug: %v\n%s", err, out)
+		}
+		// Heavy enough that the search runs for several seconds past its
+		// first genobf call — the interrupt window.
+		anonArgs := []string{"-in", graphPath, "-k", "60", "-eps", "0.01",
+			"-samples", "2000", "-seed", "3", "-q"}
+
+		if out, err := exec.Command(bins["chameleon"],
+			append(anonArgs, "-out", basePath)...).CombinedOutput(); err != nil {
+			t.Fatalf("uninterrupted run: %v\n%s", err, out)
+		}
+
+		cmd := exec.Command(bins["chameleon"], append(anonArgs,
+			"-out", filepath.Join(dir, "never.tsv"),
+			"-checkpoint", ckptPath, "-checkpoint-every", "1")...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		type sigmaFile struct {
+			Version     int    `json:"version"`
+			Phase       string `json:"phase"`
+			GenObfCalls int    `json:"genobf_calls"`
+		}
+		waitThenInterrupt(t, cmd, ckptPath, func(data []byte) bool {
+			var f sigmaFile
+			return json.Unmarshal(data, &f) == nil && f.GenObfCalls >= 1
+		})
+		wantExit(t, cmd.Wait(), 130, &stderr)
+
+		data, err := os.ReadFile(ckptPath)
+		if err != nil {
+			t.Fatalf("checkpoint after interrupt: %v", err)
+		}
+		var ck sigmaFile
+		if err := json.Unmarshal(data, &ck); err != nil {
+			t.Fatalf("checkpoint is not valid JSON: %v", err)
+		}
+		if ck.Version != 1 || ck.Phase == "" || ck.GenObfCalls < 1 {
+			t.Fatalf("checkpoint = %+v, want version 1 with search progress", ck)
+		}
+
+		if out, err := exec.Command(bins["chameleon"], append(anonArgs,
+			"-out", resumedPath, "-resume", ckptPath)...).CombinedOutput(); err != nil {
+			t.Fatalf("resumed run: %v\n%s", err, out)
+		}
+		base, err := os.ReadFile(basePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := os.ReadFile(resumedPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, resumed) {
+			t.Errorf("resumed output differs from the uninterrupted run (%d vs %d bytes)", len(base), len(resumed))
+		}
+		if _, err := os.Stat(ckptPath); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("completed search left its checkpoint behind (stat err: %v)", err)
+		}
+	})
+}
+
+// stripTiming drops the wall-clock summary line ("total: ...") so two runs
+// of the same sweep can be compared for semantic equality.
+func stripTiming(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "total:") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
 }

@@ -6,6 +6,14 @@
 //
 //	chameleon -in g.tsv -out g_anon.tsv -k 20 -eps 0.01 -method RSME
 //
+// Interruption: the first SIGINT/SIGTERM stops the run at the next safe
+// point (a second forces immediate exit); with -checkpoint FILE the
+// σ-search state is saved atomically so -resume FILE continues it later,
+// bit-identical to an uninterrupted run. -deadline DUR bounds the wall
+// clock, degrading gracefully: if a feasible obfuscation was already
+// found the best-so-far graph is written and the process exits 0,
+// otherwise it exits 124.
+//
 // Observability: -v logs structured progress to stderr; -stats FILE dumps
 // the final metrics registry and the full sigma-search trace as JSON
 // (-stats - writes the aligned-text form to stderr); -serve ADDR keeps a
@@ -16,33 +24,40 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"chameleon"
+	"chameleon/cmd/internal/runner"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input uncertain graph (TSV)")
-		out     = flag.String("out", "", "output anonymized graph (TSV, default stdout)")
-		k       = flag.Int("k", 20, "obfuscation level k")
-		eps     = flag.Float64("eps", 0.01, "tolerance epsilon (fraction of vertices allowed to stay exposed)")
-		method  = flag.String("method", "RSME", "method: RSME | RS | ME | Rep-An")
-		samples = flag.Int("samples", 1000, "Monte Carlo samples for reliability relevance")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
-		binaryF = flag.Bool("binary", false, "write the compact binary format instead of TSV")
-		quiet   = flag.Bool("q", false, "suppress the summary on stderr")
-		verbose = flag.Bool("v", false, "log structured progress to stderr")
-		stats   = flag.String("stats", "", "dump the final metrics snapshot: a path writes JSON, '-' writes text to stderr")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		trace   = flag.String("trace", "", "write a runtime execution trace to this file")
-		serveAt = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the run")
-		jrnPath = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
+		in        = flag.String("in", "", "input uncertain graph (TSV)")
+		out       = flag.String("out", "", "output anonymized graph (TSV, default stdout)")
+		k         = flag.Int("k", 20, "obfuscation level k")
+		eps       = flag.Float64("eps", 0.01, "tolerance epsilon (fraction of vertices allowed to stay exposed)")
+		method    = flag.String("method", "RSME", "method: RSME | RS | ME | Rep-An")
+		samples   = flag.Int("samples", 1000, "Monte Carlo samples for reliability relevance")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
+		binaryF   = flag.Bool("binary", false, "write the compact binary format instead of TSV")
+		quiet     = flag.Bool("q", false, "suppress the summary on stderr")
+		verbose   = flag.Bool("v", false, "log structured progress to stderr")
+		stats     = flag.String("stats", "", "dump the final metrics snapshot: a path writes JSON, '-' writes text to stderr")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		trace     = flag.String("trace", "", "write a runtime execution trace to this file")
+		serveAt   = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the run")
+		jrnPath   = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
+		deadline  = flag.Duration("deadline", 0, "bound the run's wall clock; on expiry the best-so-far graph is written (exit 0) or, with nothing found yet, the run fails (exit 124)")
+		ckptPath  = flag.String("checkpoint", "", "save the σ-search state to this file on interrupt (atomic write; enables -resume)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "additionally checkpoint every N genobf calls (requires -checkpoint)")
+		resumeAt  = flag.String("resume", "", "resume an interrupted σ-search from this checkpoint file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -51,138 +66,129 @@ func main() {
 		os.Exit(2)
 	}
 
-	stopProfiles, err := chameleon.StartProfiles(*cpuProf, *memProf, *trace)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "chameleon:", err)
-		os.Exit(1)
-	}
-
 	obs := chameleon.NewObserver()
 	if *verbose {
 		obs.Logger = chameleon.NewLogger(os.Stderr)
 	}
 
-	var jw *chameleon.Journal
-	var runID string
-	if *jrnPath != "" {
-		jw, err = chameleon.OpenJournal(*jrnPath)
+	os.Exit(runner.Main(runner.Options{
+		Command:     "chameleon",
+		Args:        os.Args[1:],
+		Deadline:    *deadline,
+		JournalPath: *jrnPath,
+		ServeAddr:   *serveAt,
+		Observer:    obs,
+	}, func(env *runner.Env) error {
+		stopProfiles, err := chameleon.StartProfiles(*cpuProf, *memProf, *trace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
+			return err
 		}
-		runID, err = jw.Begin("chameleon", os.Args[1:], time.Now())
+		err = run(env, obs, runFlags{
+			in: *in, out: *out, k: *k, eps: *eps, method: *method,
+			samples: *samples, seed: *seed, workers: *workers,
+			binary: *binaryF, quiet: *quiet, stats: *stats,
+			ckptPath: *ckptPath, ckptEvery: *ckptEvery, resumeAt: *resumeAt,
+		})
+		if pErr := stopProfiles(); err == nil {
+			err = pErr
+		}
+		return err
+	}))
+}
+
+type runFlags struct {
+	in, out, method, stats string
+	k, samples, workers    int
+	eps                    float64
+	seed                   uint64
+	binary, quiet          bool
+	ckptPath               string
+	ckptEvery              int
+	resumeAt               string
+}
+
+func run(env *runner.Env, obs *chameleon.Observer, f runFlags) error {
+	var resume *chameleon.Checkpoint
+	ckptPath := f.ckptPath
+	if f.resumeAt != "" {
+		var err error
+		resume, err = chameleon.LoadCheckpoint(f.resumeAt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
+			return err
 		}
-	}
-	var srv *chameleon.TelemetryServer
-
-	// fatal marks the run "failed" before exiting — in /runs and, when a
-	// journal is open, with a final "end" record carrying the snapshot at
-	// the point of failure — so failed runs are distinguishable from
-	// truncated in-flight ones. Safe at any point: srv and jw are nil-safe
-	// until their features are enabled.
-	fatal := func(err error) {
-		fmt.Fprintln(os.Stderr, "chameleon:", err)
-		srv.Poll()
-		srv.SetRunStatus(runID, "failed")
-		srv.Close()
-		if jw != nil {
-			jw.End(time.Now(), "failed", obs.Registry().Snapshot())
-			jw.Close()
+		if ckptPath == "" {
+			// Keep checkpointing to the file being resumed from, so a run
+			// interrupted twice stays resumable.
+			ckptPath = f.resumeAt
 		}
-		os.Exit(1)
+		obs.Log("resuming sigma-search", "checkpoint", f.resumeAt)
 	}
 
-	if *serveAt != "" {
-		opts := chameleon.TelemetryOptions{}
-		if jw != nil {
-			opts.OnSnapshot = func(at time.Time, s chameleon.MetricsSnapshot, rates map[string]float64) {
-				jw.WriteSnapshot(at, s, rates)
-			}
-		}
-		srv = chameleon.NewTelemetryServer(obs, opts)
-		if runID == "" {
-			runID = chameleon.NewRunID(time.Now())
-		}
-		srv.AddRun(chameleon.RunInfo{ID: runID, Command: "chameleon", Args: os.Args[1:], Start: time.Now(), Status: "running"})
-		addr, err := srv.Start(*serveAt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "chameleon: serving telemetry on http://%s/metrics\n", addr)
-	}
-
-	g, err := chameleon.LoadGraph(*in)
+	g, err := chameleon.LoadGraph(f.in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	obs.Log("loaded graph", "path", *in, "nodes", g.NumNodes(), "edges", g.NumEdges())
+	obs.Log("loaded graph", "path", f.in, "nodes", g.NumNodes(), "edges", g.NumEdges())
 
 	start := time.Now()
-	res, err := chameleon.Anonymize(g, chameleon.Options{
-		K:        *k,
-		Epsilon:  *eps,
-		Method:   chameleon.Method(*method),
-		Samples:  *samples,
-		Seed:     *seed,
-		Workers:  *workers,
-		Observer: obs,
+	res, err := chameleon.AnonymizeContext(env.Ctx, g, chameleon.Options{
+		K:               f.k,
+		Epsilon:         f.eps,
+		Method:          chameleon.Method(f.method),
+		Samples:         f.samples,
+		Seed:            f.seed,
+		Workers:         f.workers,
+		Observer:        obs,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: f.ckptEvery,
+		Resume:          resume,
 	})
 	if err != nil {
-		fatal(err)
+		// Deadline degradation: when the wall clock ran out but a feasible
+		// obfuscation was already in hand, publish the best-so-far graph
+		// and exit 0. SIGINT does not degrade — it checkpoints (when
+		// configured) and exits 130, leaving the choice between resuming
+		// and settling for less to the operator.
+		if res != nil && res.Graph != nil && errors.Is(err, context.DeadlineExceeded) {
+			if wErr := writeOutput(f, res); wErr != nil {
+				return errors.Join(err, wErr)
+			}
+			fmt.Fprintf(os.Stderr,
+				"chameleon: deadline reached; wrote best-so-far graph (eps~=%.4f sigma=%.4f, search incomplete)\n",
+				res.EpsilonTilde, res.Sigma)
+			env.Journal.WriteSpan(time.Now(), res.Trace())
+			return runner.DegradedError{Cause: err}
+		}
+		return err
 	}
 	elapsed := time.Since(start)
 
-	if *out == "" {
-		if err := chameleon.WriteGraph(os.Stdout, res.Graph); err != nil {
-			fatal(err)
-		}
-	} else {
-		save := chameleon.SaveGraph
-		if *binaryF {
-			save = chameleon.SaveGraphBinary
-		}
-		if err := save(*out, res.Graph); err != nil {
-			fatal(err)
-		}
+	if err := writeOutput(f, res); err != nil {
+		return err
 	}
-	if !*quiet {
+	if !f.quiet {
 		fmt.Fprintf(os.Stderr,
 			"anonymized %d nodes / %d->%d edges with %s: k=%d eps~=%.4f sigma=%.4f (%v)\n",
 			g.NumNodes(), g.NumEdges(), res.Graph.NumEdges(), res.Method,
-			*k, res.EpsilonTilde, res.Sigma, elapsed.Round(time.Millisecond))
+			f.k, res.EpsilonTilde, res.Sigma, elapsed.Round(time.Millisecond))
 		writePhaseBreakdown(res)
 	}
-	srv.Poll() // one final differ tick so the journal sees the end state
-	srv.SetRunStatus(runID, "done")
-	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "chameleon:", err)
-		os.Exit(1)
+	if err := env.Journal.WriteSpan(time.Now(), res.Trace()); err != nil {
+		return err
 	}
-	if jw != nil {
-		if err := jw.WriteSpan(time.Now(), res.Trace()); err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
-		}
-		if err := jw.End(time.Now(), "done", obs.Registry().Snapshot()); err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
-		}
-		if err := jw.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "chameleon:", err)
-			os.Exit(1)
-		}
+	return writeStats(f.stats, obs)
+}
+
+// writeOutput publishes the result graph per the -out/-binary flags.
+func writeOutput(f runFlags, res *chameleon.Result) error {
+	if f.out == "" {
+		return chameleon.WriteGraph(os.Stdout, res.Graph)
 	}
-	if err := writeStats(*stats, obs); err != nil {
-		fmt.Fprintln(os.Stderr, "chameleon:", err)
-		os.Exit(1)
+	save := chameleon.SaveGraph
+	if f.binary {
+		save = chameleon.SaveGraphBinary
 	}
-	if err := stopProfiles(); err != nil {
-		fmt.Fprintln(os.Stderr, "chameleon:", err)
-		os.Exit(1)
-	}
+	return save(f.out, res.Graph)
 }
 
 // writePhaseBreakdown reports where the run's time went: the relevance/

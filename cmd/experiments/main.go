@@ -14,6 +14,13 @@
 //	experiments -csv runs.csv    # also dump the raw grid
 //	experiments -serve :9100     # live /metrics, /healthz, /runs, /debug/pprof
 //	experiments -journal r.jsonl # append a replayable JSONL run journal
+//
+// Interruption: the first SIGINT/SIGTERM stops the sweep at the next cell
+// boundary (a second forces immediate exit) and -deadline DUR does the
+// same on a wall-clock budget; with -checkpoint FILE every completed
+// sweep cell is saved atomically, so rerunning with the same flags skips
+// the finished cells and recomputes only the rest (per-cell seeding keeps
+// the merged results identical to an uninterrupted run).
 package main
 
 import (
@@ -23,43 +30,32 @@ import (
 	"strings"
 	"time"
 
+	"chameleon/cmd/internal/runner"
 	"chameleon/internal/exp"
 	"chameleon/internal/obs"
-	"chameleon/internal/obs/expose"
-	"chameleon/internal/obs/journal"
-)
-
-// Run-scoped telemetry handles, package-level so fail can mark the run
-// "failed" (in /runs and the journal) from any exit path. All are nil-safe
-// zero values until their flags enable them.
-var (
-	observer *obs.Observer
-	jw       *journal.Writer
-	srv      *expose.Server
-	runID    string
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "miniature datasets and reduced sampling budgets")
-		run     = flag.String("run", "all", "comma-separated artifacts: tableI,tableII,fig3,fig4,fig8,fig9,fig10,fig11,attack,knn,dp,centrality,timing,ablations,all")
-		samples = flag.Int("samples", 0, "override reliability sample budget")
-		seed    = flag.Uint64("seed", 7, "random seed")
-		csvPath = flag.String("csv", "", "write the raw sweep grid as CSV")
-		workers = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
-		verbose = flag.Bool("v", false, "log structured per-cell progress to stderr")
-		stats   = flag.String("stats", "", "dump the final metrics snapshot: a path writes JSON, '-' writes text to stderr")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		trcPath = flag.String("trace", "", "write a runtime execution trace to this file")
-		serveAt = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the sweep")
-		jrnPath = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
+		quick    = flag.Bool("quick", false, "miniature datasets and reduced sampling budgets")
+		runSel   = flag.String("run", "all", "comma-separated artifacts: tableI,tableII,fig3,fig4,fig8,fig9,fig10,fig11,attack,knn,dp,centrality,timing,ablations,all")
+		samples  = flag.Int("samples", 0, "override reliability sample budget")
+		seed     = flag.Uint64("seed", 7, "random seed")
+		csvPath  = flag.String("csv", "", "write the raw sweep grid as CSV")
+		workers  = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
+		verbose  = flag.Bool("v", false, "log structured per-cell progress to stderr")
+		stats    = flag.String("stats", "", "dump the final metrics snapshot: a path writes JSON, '-' writes text to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		trcPath  = flag.String("trace", "", "write a runtime execution trace to this file")
+		serveAt  = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the sweep")
+		jrnPath  = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
+		deadline = flag.Duration("deadline", 0, "bound the run's wall clock; the sweep stops at the next cell boundary (exit 124)")
+		ckptPath = flag.String("checkpoint", "", "save completed sweep cells to this file (atomic writes); rerunning with the same flags resumes, recomputing only unfinished cells")
 	)
 	flag.Parse()
 
-	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf, *trcPath)
-	fail(err)
-
+	var observer *obs.Observer
 	if *stats != "" || *verbose || *serveAt != "" || *jrnPath != "" {
 		observer = obs.NewObserver()
 		if *verbose {
@@ -67,32 +63,42 @@ func main() {
 		}
 	}
 
-	if *jrnPath != "" {
-		jw, err = journal.Open(*jrnPath)
-		fail(err)
-		runID, err = jw.Begin("experiments", os.Args[1:], time.Now())
-		fail(err)
-	}
-	if *serveAt != "" {
-		opts := expose.Options{}
-		if jw != nil {
-			opts.OnSnapshot = func(at time.Time, s obs.Snapshot, rates map[string]float64) {
-				jw.WriteSnapshot(at, s, rates)
+	os.Exit(runner.Main(runner.Options{
+		Command:     "experiments",
+		Args:        os.Args[1:],
+		Deadline:    *deadline,
+		JournalPath: *jrnPath,
+		ServeAddr:   *serveAt,
+		Observer:    observer,
+	}, func(env *runner.Env) error {
+		stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf, *trcPath)
+		if err != nil {
+			return err
+		}
+		cfg := exp.Config{
+			Quick: *quick, Samples: *samples, Seed: *seed,
+			Workers: *workers, Obs: observer, Ctx: env.Ctx,
+		}
+		if *ckptPath != "" {
+			cfg.Cells, err = exp.OpenCellStore(*ckptPath, cfg)
+			if err != nil {
+				return err
+			}
+			if n := cfg.Cells.Len(); n > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: resuming sweep, %d cells restored from %s\n", n, *ckptPath)
 			}
 		}
-		srv = expose.New(observer, opts)
-		if runID == "" {
-			runID = journal.NewRunID(time.Now())
+		err = run(env, cfg, *runSel, *csvPath, *stats, observer)
+		if pErr := stopProfiles(); err == nil {
+			err = pErr
 		}
-		srv.AddRun(expose.RunInfo{ID: runID, Command: "experiments", Args: os.Args[1:], Start: time.Now(), Status: "running"})
-		addr, err := srv.Start(*serveAt)
-		fail(err)
-		fmt.Fprintf(os.Stderr, "experiments: serving telemetry on http://%s/metrics\n", addr)
-	}
+		return err
+	}))
+}
 
-	cfg := exp.Config{Quick: *quick, Samples: *samples, Seed: *seed, Workers: *workers, Obs: observer}
+func run(env *runner.Env, cfg exp.Config, runSel, csvPath, stats string, observer *obs.Observer) error {
 	want := map[string]bool{}
-	for _, r := range strings.Split(*run, ",") {
+	for _, r := range strings.Split(runSel, ",") {
 		want[strings.TrimSpace(r)] = true
 	}
 	all := want["all"]
@@ -105,14 +111,18 @@ func main() {
 	}
 	if all || want["fig3"] {
 		probs, degs, err := cfg.Fig3()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		exp.WriteHistogram(out, "Figure 3a: edge probability distributions", probs)
 		exp.WriteHistogram(out, "Figure 3b: degree distributions (log-spaced buckets)", degs)
 		fmt.Fprintln(out)
 	}
 	if all || want["fig4"] {
 		rows, err := cfg.Fig4()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		exp.WriteFig4(out, rows)
 		fmt.Fprintln(out)
 	}
@@ -120,14 +130,18 @@ func main() {
 	needSweep := all || want["tableI"] || want["fig8"] || want["fig9"] || want["fig10"] || want["fig11"] || want["timing"] || want["sweep"]
 	if needSweep {
 		runs, bases, err := cfg.SweepAll(exp.Methods)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		if all || want["tableI"] {
 			cfg.WriteTableI(out, bases)
 			fmt.Fprintln(out)
 		}
 		for _, fig := range []string{"fig8", "fig9", "fig10", "fig11"} {
 			if all || want[fig] {
-				fail(exp.WriteFigure(out, fig, runs))
+				if err := exp.WriteFigure(out, fig, runs); err != nil {
+					return err
+				}
 				fmt.Fprintln(out)
 			}
 		}
@@ -135,56 +149,71 @@ func main() {
 			exp.WriteTiming(out, runs)
 			fmt.Fprintln(out)
 		}
-		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
-			fail(err)
+		if csvPath != "" {
+			f, err := os.Create(csvPath)
+			if err != nil {
+				return err
+			}
 			exp.WriteRunsCSV(f, runs)
-			fail(f.Close())
-			fmt.Fprintf(out, "wrote raw grid to %s\n\n", *csvPath)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote raw grid to %s\n\n", csvPath)
 		}
 	}
 
 	if all || want["attack"] {
 		rows, err := cfg.AttackExperiment()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		exp.WriteAttack(out, rows)
 		fmt.Fprintln(out)
 	}
 	if all || want["centrality"] {
 		rows, err := cfg.CentralityExperiment()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		exp.WriteCentrality(out, rows)
 		fmt.Fprintln(out)
 	}
 	if all || want["dp"] {
 		rows, err := cfg.DPComparison()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		exp.WriteDP(out, rows)
 		fmt.Fprintln(out)
 	}
 	if all || want["knn"] {
 		rows, err := cfg.KNNExperiment()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		exp.WriteKNN(out, rows)
 		fmt.Fprintln(out)
 	}
 	if all || want["ablations"] {
-		runAblations(cfg, out)
+		if err := runAblations(cfg, out); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Millisecond))
 
-	srv.Poll() // one final differ tick so the journal sees the end state
-	srv.SetRunStatus(runID, "done")
-	fail(srv.Close())
-	if jw != nil {
+	if observer != nil {
 		for _, span := range observer.Spans() {
-			fail(jw.WriteSpan(time.Now(), span))
+			if err := env.Journal.WriteSpan(time.Now(), span); err != nil {
+				return err
+			}
 		}
-		fail(jw.End(time.Now(), "done", observer.Registry().Snapshot()))
-		fail(jw.Close())
 	}
-	fail(writeStats(*stats, observer))
-	fail(stopProfiles())
+	if err := writeStats(stats, observer); err != nil {
+		return err
+	}
+	// The whole requested artifact set completed: a sweep checkpoint has
+	// nothing left to resume, so clear it.
+	return cfg.Finish()
 }
 
 // writeStats dumps the observer snapshot per the -stats flag contract: ""
@@ -207,7 +236,7 @@ func writeStats(dest string, observer *obs.Observer) error {
 	return f.Close()
 }
 
-func runAblations(cfg exp.Config, out *os.File) {
+func runAblations(cfg exp.Config, out *os.File) error {
 	// ERR estimator cost on purpose-built small graphs: the naive
 	// estimator of Lemma 2 is quadratic in |E| and exists only to show why
 	// the Algorithm 2 reuse estimator matters.
@@ -220,7 +249,9 @@ func runAblations(cfg exp.Config, out *os.File) {
 	var rows []exp.ERRCostRow
 	for _, m := range sizes {
 		g, err := exp.ERRCostGraph(m, cfg.Seed)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		rows = append(rows, exp.ERRCost(g, samples, cfg.Seed, cfg.Workers))
 	}
 	exp.WriteERRCost(out, rows)
@@ -228,18 +259,24 @@ func runAblations(cfg exp.Config, out *os.File) {
 
 	d := cfg.Datasets()[0]
 	g, err := cfg.BuildDataset(d)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	gain := exp.EntropyGain(g, []float64{0.01, 0.05, 0.1, 0.2, 0.4}, cfg.Seed)
 	exp.WriteEntropyGain(out, gain)
 	fmt.Fprintln(out)
 
 	eRows, err := cfg.ExtractionAblation()
-	fail(err)
+	if err != nil {
+		return err
+	}
 	exp.WriteExtraction(out, eRows)
 	fmt.Fprintln(out)
 
 	cRows, err := cfg.CSweepAblation(nil)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	exp.WriteCSweep(out, cRows)
 	fmt.Fprintln(out)
 
@@ -254,31 +291,10 @@ func runAblations(cfg exp.Config, out *os.File) {
 	fmt.Fprintln(out)
 
 	epsRows, err := cfg.EpsilonSweep(nil)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	exp.WriteEpsilonSweep(out, epsRows)
 	fmt.Fprintln(out)
-}
-
-// fail exits on a non-nil error after marking the run "failed": the /runs
-// entry flips status, and an open journal gets a final "end" record with
-// the snapshot at the point of failure, so failed runs are
-// distinguishable from truncated in-flight ones. Nil-safe at every stage
-// of startup: srv, jw and observer may still be their zero values.
-func fail(err error) {
-	if err == nil {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	srv.Poll()
-	srv.SetRunStatus(runID, "failed")
-	srv.Close()
-	if jw != nil {
-		var final obs.Snapshot
-		if observer != nil {
-			final = observer.Registry().Snapshot()
-		}
-		jw.End(time.Now(), "failed", final)
-		jw.Close()
-	}
-	os.Exit(1)
+	return nil
 }

@@ -9,12 +9,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
 	"strings"
 
+	"chameleon/cmd/internal/runner"
 	"chameleon/internal/gen"
 	"chameleon/internal/uncertain"
 )
@@ -36,28 +38,34 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := build(*dataset, *topology, *nodes, *edges, *degree, *blocks, *pin, *pout, *probs, *seed)
+	err := run(*dataset, *topology, *nodes, *edges, *degree, *blocks, *pin, *pout, *probs, *seed, *out, *binaryF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genug:", err)
-		os.Exit(1)
-	}
-	if *out == "" {
-		if err := uncertain.WriteTSV(os.Stdout, g); err != nil {
-			fmt.Fprintln(os.Stderr, "genug:", err)
-			os.Exit(1)
+		if errors.As(err, new(runner.UsageError)) {
+			flag.Usage()
 		}
-		return
+	}
+	os.Exit(runner.ExitCode(err))
+}
+
+func run(dataset, topology string, nodes, edges, degree, blocks int, pin, pout float64, probs string, seed uint64, out string, binaryF bool) error {
+	g, err := build(dataset, topology, nodes, edges, degree, blocks, pin, pout, probs, seed)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		return uncertain.WriteTSV(os.Stdout, g)
 	}
 	save := uncertain.SaveFile
-	if *binaryF {
+	if binaryF {
 		save = uncertain.SaveBinaryFile
 	}
-	if err := save(*out, g); err != nil {
-		fmt.Fprintln(os.Stderr, "genug:", err)
-		os.Exit(1)
+	if err := save(out, g); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d nodes, %d edges, mean p %.3f\n",
-		*out, g.NumNodes(), g.NumEdges(), g.MeanProb())
+		out, g.NumNodes(), g.NumEdges(), g.MeanProb())
+	return nil
 }
 
 func build(dataset, topology string, nodes, edges, degree, blocks int, pin, pout float64, probs string, seed uint64) (*uncertain.Graph, error) {
@@ -65,7 +73,7 @@ func build(dataset, topology string, nodes, edges, degree, blocks int, pin, pout
 	if dataset != "" {
 		d, err := gen.DatasetByName(dataset)
 		if err != nil {
-			return nil, fmt.Errorf("%w (known: %s)", err, strings.Join(datasetNames(), ", "))
+			return nil, runner.UsageError{Err: fmt.Errorf("%w (known: %s)", err, strings.Join(datasetNames(), ", "))}
 		}
 		return d.Build(rng)
 	}
@@ -81,7 +89,7 @@ func build(dataset, topology string, nodes, edges, degree, blocks int, pin, pout
 			[]float64{0.15, 0.23, 0.27, 0.22, 0.13},
 		)
 	default:
-		return nil, fmt.Errorf("unknown probability profile %q", probs)
+		return nil, runner.Usagef("unknown probability profile %q", probs)
 	}
 	switch topology {
 	case "ba":
@@ -91,7 +99,7 @@ func build(dataset, topology string, nodes, edges, degree, blocks int, pin, pout
 	case "sbm":
 		return gen.SBM(nodes, blocks, pin, pout, pa, rng)
 	default:
-		return nil, fmt.Errorf("unknown topology %q", topology)
+		return nil, runner.Usagef("unknown topology %q", topology)
 	}
 }
 

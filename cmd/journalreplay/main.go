@@ -53,15 +53,26 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "RUN\tCOMMAND\tSTATUS\tSTART\tDURATION\tSNAPSHOTS\tSPANS")
+	fmt.Fprintln(tw, "RUN\tCOMMAND\tSTATUS\tSTART\tDURATION\tSNAPSHOTS\tSPANS\tERROR")
 	for _, run := range runs {
 		dur := "-"
 		if !run.End.IsZero() && !run.Start.IsZero() {
 			dur = run.End.Sub(run.Start).Round(time.Millisecond).String()
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
-			run.ID, run.Command, run.Status, run.Start.Format(time.RFC3339), dur,
-			len(run.Snapshots), len(run.Spans))
+		status := run.Status
+		if run.Truncated() {
+			// No end record at all: the process died without flushing one
+			// (crash, kill -9) or is still in flight. Distinct from
+			// "interrupted", which means the handler got to say goodbye.
+			status = "truncated"
+		}
+		errCol := "-"
+		if run.Error != "" {
+			errCol = run.Error
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+			run.ID, run.Command, status, run.Start.Format(time.RFC3339), dur,
+			len(run.Snapshots), len(run.Spans), errCol)
 	}
 	fail(tw.Flush())
 
@@ -90,6 +101,9 @@ func main() {
 	if *full {
 		for _, run := range runs {
 			fmt.Printf("\n=== %s (%s, %s) ===\n", run.ID, run.Command, run.Status)
+			if run.Error != "" {
+				fmt.Printf("stopped by: %s\n", run.Error)
+			}
 			if run.Final == nil {
 				fmt.Println("(no end record: run truncated or still in flight)")
 				continue

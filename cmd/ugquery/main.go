@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,52 +20,80 @@ import (
 	"text/tabwriter"
 
 	"chameleon"
+	"chameleon/cmd/internal/runner"
 )
 
+type queryFlags struct {
+	gPath      string
+	pair       string
+	knn        int
+	k          int
+	relevance  bool
+	top        int
+	components bool
+	samples    int
+	seed       uint64
+}
+
 func main() {
-	var (
-		gPath      = flag.String("g", "", "uncertain graph (TSV or binary)")
-		pair       = flag.String("pair", "", "two-terminal reliability of 'u,v'")
-		knn        = flag.Int("knn", -1, "reliability k-NN of this vertex")
-		k          = flag.Int("k", 10, "neighborhood size for -knn")
-		relevance  = flag.Bool("relevance", false, "rank edges by reliability relevance")
-		top        = flag.Int("top", 10, "rows to print for -relevance")
-		components = flag.Bool("components", false, "list support components")
-		samples    = flag.Int("samples", 1000, "Monte Carlo samples")
-		seed       = flag.Uint64("seed", 1, "random seed")
-	)
+	var f queryFlags
+	flag.StringVar(&f.gPath, "g", "", "uncertain graph (TSV or binary)")
+	flag.StringVar(&f.pair, "pair", "", "two-terminal reliability of 'u,v'")
+	flag.IntVar(&f.knn, "knn", -1, "reliability k-NN of this vertex")
+	flag.IntVar(&f.k, "k", 10, "neighborhood size for -knn")
+	flag.BoolVar(&f.relevance, "relevance", false, "rank edges by reliability relevance")
+	flag.IntVar(&f.top, "top", 10, "rows to print for -relevance")
+	flag.BoolVar(&f.components, "components", false, "list support components")
+	flag.IntVar(&f.samples, "samples", 1000, "Monte Carlo samples")
+	flag.Uint64Var(&f.seed, "seed", 1, "random seed")
 	flag.Parse()
-	if *gPath == "" {
-		fmt.Fprintln(os.Stderr, "ugquery: -g is required")
-		flag.Usage()
-		os.Exit(2)
+
+	err := run(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ugquery:", err)
+		if errors.As(err, new(runner.UsageError)) {
+			flag.Usage()
+		}
 	}
-	g, err := chameleon.LoadGraph(*gPath)
-	fail(err)
+	os.Exit(runner.ExitCode(err))
+}
+
+func run(f queryFlags) error {
+	if f.gPath == "" {
+		return runner.Usagef("-g is required")
+	}
+	g, err := chameleon.LoadGraph(f.gPath)
+	if err != nil {
+		return err
+	}
 
 	ran := false
-	if *pair != "" {
+	if f.pair != "" {
 		ran = true
-		u, v, err := parsePair(*pair, g.NumNodes())
-		fail(err)
-		r := chameleon.PairReliability(g, u, v, *samples, *seed)
+		u, v, err := parsePair(f.pair, g.NumNodes())
+		if err != nil {
+			return err
+		}
+		r := chameleon.PairReliability(g, u, v, f.samples, f.seed)
 		fmt.Printf("R(%d,%d) = %.4f\n", u, v, r)
 	}
-	if *knn >= 0 {
+	if f.knn >= 0 {
 		ran = true
-		nbrs, err := chameleon.ReliabilityKNN(g, chameleon.NodeID(*knn), *k, *samples, *seed)
-		fail(err)
-		rel := chameleon.ReliabilityFrom(g, chameleon.NodeID(*knn), *samples, *seed)
+		nbrs, err := chameleon.ReliabilityKNN(g, chameleon.NodeID(f.knn), f.k, f.samples, f.seed)
+		if err != nil {
+			return err
+		}
+		rel := chameleon.ReliabilityFrom(g, chameleon.NodeID(f.knn), f.samples, f.seed)
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(tw, "reliability %d-NN of vertex %d:\n", *k, *knn)
+		fmt.Fprintf(tw, "reliability %d-NN of vertex %d:\n", f.k, f.knn)
 		for i, v := range nbrs {
 			fmt.Fprintf(tw, "  %d\t%d\t%.4f\n", i+1, v, rel[v])
 		}
 		tw.Flush()
 	}
-	if *relevance {
+	if f.relevance {
 		ran = true
-		rel := chameleon.EdgeRelevance(g, *samples, *seed)
+		rel := chameleon.EdgeRelevance(g, f.samples, f.seed)
 		idx := make([]int, len(rel))
 		for i := range idx {
 			idx[i] = i
@@ -72,7 +101,7 @@ func main() {
 		sort.SliceStable(idx, func(a, b int) bool { return rel[idx[a]] > rel[idx[b]] })
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "most reliability-relevant edges:")
-		limit := *top
+		limit := f.top
 		if limit > len(idx) {
 			limit = len(idx)
 		}
@@ -82,7 +111,7 @@ func main() {
 		}
 		tw.Flush()
 	}
-	if *components {
+	if f.components {
 		ran = true
 		comps := g.SupportComponents()
 		fmt.Printf("%d support components; sizes of the largest 10:", len(comps))
@@ -95,9 +124,9 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "ugquery: nothing to do (pass -pair, -knn, -relevance or -components)")
-		os.Exit(2)
+		return runner.Usagef("nothing to do (pass -pair, -knn, -relevance or -components)")
 	}
+	return nil
 }
 
 func parsePair(s string, n int) (chameleon.NodeID, chameleon.NodeID, error) {
@@ -117,11 +146,4 @@ func parsePair(s string, n int) (chameleon.NodeID, chameleon.NodeID, error) {
 		return 0, 0, fmt.Errorf("pair (%d,%d) out of range (n=%d)", u, v, n)
 	}
 	return chameleon.NodeID(u), chameleon.NodeID(v), nil
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ugquery:", err)
-		os.Exit(1)
-	}
 }

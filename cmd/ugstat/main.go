@@ -9,12 +9,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
 	"chameleon"
+	"chameleon/cmd/internal/runner"
 	"chameleon/internal/metrics"
 )
 
@@ -28,50 +30,55 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if *gPath == "" {
-		fmt.Fprintln(os.Stderr, "ugstat: -g is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	g, err := chameleon.LoadGraph(*gPath)
+	err := run(*gPath, *pubPath, *k, *samples, *msample, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ugstat:", err)
-		os.Exit(1)
+		if errors.As(err, new(runner.UsageError)) {
+			flag.Usage()
+		}
 	}
-	printStats(*gPath, g, *msample, *seed)
+	os.Exit(runner.ExitCode(err))
+}
 
-	if *pubPath == "" {
-		return
+func run(gPath, pubPath string, k, samples, msample int, seed uint64) error {
+	if gPath == "" {
+		return runner.Usagef("-g is required")
 	}
-	pub, err := chameleon.LoadGraph(*pubPath)
+	g, err := chameleon.LoadGraph(gPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ugstat:", err)
-		os.Exit(1)
+		return err
 	}
-	printStats(*pubPath, pub, *msample, *seed)
+	printStats(gPath, g, msample, seed)
 
-	priv, err := chameleon.CheckPrivacy(g, pub, *k)
+	if pubPath == "" {
+		return nil
+	}
+	pub, err := chameleon.LoadGraph(pubPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ugstat:", err)
-		os.Exit(1)
+		return err
+	}
+	printStats(pubPath, pub, msample, seed)
+
+	priv, err := chameleon.CheckPrivacy(g, pub, k)
+	if err != nil {
+		return err
 	}
 	util, err := chameleon.EvaluateUtility(g, pub, chameleon.UtilityOptions{
-		Samples: *samples, MetricSamples: *msample, Seed: *seed,
+		Samples: samples, MetricSamples: msample, Seed: seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ugstat:", err)
-		os.Exit(1)
+		return err
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "privacy (k=%d):\tnon-obfuscated=%d\teps~=%.4f\n", *k, priv.NonObfuscated, priv.EpsilonTilde)
+	fmt.Fprintf(tw, "privacy (k=%d):\tnon-obfuscated=%d\teps~=%.4f\n", k, priv.NonObfuscated, priv.EpsilonTilde)
 	fmt.Fprintf(tw, "utility:\treliability discrepancy=%.4f\n", util.ReliabilityDiscrepancy)
 	fmt.Fprintf(tw, "\tavg degree err=%.4f\n", util.AvgDegreeError)
 	fmt.Fprintf(tw, "\tavg distance err=%.4f\n", util.AvgDistanceError)
 	fmt.Fprintf(tw, "\tclustering err=%.4f\n", util.ClusteringError)
 	fmt.Fprintf(tw, "\teff diameter err=%.4f\n", util.EffectiveDiameterError)
-	tw.Flush()
+	return tw.Flush()
 }
 
 func printStats(name string, g *chameleon.Graph, msamples int, seed uint64) {

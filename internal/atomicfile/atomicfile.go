@@ -1,0 +1,51 @@
+// Package atomicfile writes files atomically: content lands in a
+// temporary file in the destination directory and is renamed into place
+// only after a successful flush, so readers never observe a torn write and
+// an interrupt mid-write leaves the previous version intact. This is the
+// durability primitive behind the σ-search and sweep checkpoints: a
+// checkpoint file either is the old complete state or the new complete
+// state, never a truncated hybrid.
+package atomicfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with data.
+func Write(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// Sync before rename: a rename is only atomic against crashes if the
+	// new content is durable first.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON atomically replaces path with the indented JSON encoding of v.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return Write(path, append(data, '\n'))
+}

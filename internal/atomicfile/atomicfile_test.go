@@ -1,0 +1,65 @@
+package atomicfile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := Write(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.json")
+	in := map[string]float64{"sigma": 0.1234567890123456789, "eps": 0.05}
+	if err := WriteJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]float64
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	// encoding/json float64 round-trips must be bit-exact: the checkpoint
+	// determinism argument depends on it.
+	for k, v := range in {
+		if out[k] != v {
+			t.Fatalf("%s = %v, want %v", k, out[k], v)
+		}
+	}
+}
+
+func TestWriteMissingDir(t *testing.T) {
+	if err := Write(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

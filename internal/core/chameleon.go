@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 
 	"chameleon/internal/obs"
@@ -9,30 +12,74 @@ import (
 	"chameleon/internal/uncertain"
 )
 
-// Anonymize runs the Chameleon iterative skeleton (Algorithm 1): an
+// Anonymize runs the Chameleon iterative skeleton (Algorithm 1) without
+// cancellation; see AnonymizeContext.
+func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
+	return AnonymizeContext(context.Background(), g, p)
+}
+
+// AnonymizeContext runs the Chameleon iterative skeleton (Algorithm 1): an
 // exponential search for a noise level sigma at which GenObf succeeds,
 // followed by a binary search for the smallest such sigma. Uniqueness and
 // reliability-relevance scores depend only on the input graph, so they are
 // computed once and shared across all GenObf calls.
-func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
+//
+// Cancelling ctx stops the search cooperatively — at Monte Carlo chunk
+// boundaries during the precompute, at GenObf attempt boundaries during
+// the search. An interrupted search returns a NON-nil *Result carrying the
+// best obfuscation found so far (Result.Graph is nil when none was found)
+// together with an error wrapping ctx.Err(); callers distinguish the
+// partial outcome with errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded.
+//
+// With Params.CheckpointPath set, the search state is snapshotted
+// atomically on interrupt (and every Params.CheckpointEvery GenObf calls),
+// and Params.Resume restores such a snapshot: a resumed run replays the
+// remaining search deterministically and its result is bit-identical to an
+// uninterrupted run with the same inputs. A checkpoint left behind by an
+// earlier interrupt is removed once the search completes.
+func AnonymizeContext(ctx context.Context, g *uncertain.Graph, p Params) (*Result, error) {
 	p = p.withDefaults()
 	if err := p.validate(g); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.Resume != nil {
+		if err := p.Resume.validateAgainst(g, p); err != nil {
+			return nil, err
+		}
 	}
 	root := obs.NewSpan("anonymize")
 	root.SetAttr("variant", p.Variant.String())
 	defer root.End()
 
 	pre := root.StartChild("precompute")
-	st, err := newSearchState(g, p)
+	st, err := newSearchState(ctx, g, p)
 	pre.End()
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled during the precompute: the relevance scores are
+		// truncated garbage and nothing search-shaped exists to checkpoint
+		// (a resume redoes the deterministic precompute anyway).
+		return nil, interruptErr(err, 0)
 	}
 	p.Obs.Debug("core: precompute done",
 		"variant", p.Variant.String(), "dur", pre.Duration())
 
 	res := &Result{Variant: p.Variant, Trace: root}
+	cur := newSearchCursor(p)
+	if p.Resume != nil {
+		if cur, err = restoreCursor(p.Resume, st, res); err != nil {
+			return nil, err
+		}
+		p.Obs.Log("core: resuming σ-search from checkpoint",
+			"phase", cur.phase, "sigma_lo", cur.sigmaLo, "sigma_hi", cur.sigmaHi,
+			"genobf_calls", res.GenObfCalls, "best_epsilon", cur.best.epsilon)
+	}
 
 	// Phase 1: exponential search for a feasible sigma. The search starts
 	// from a near-zero noise level rather than the paper's sigma_u = 1: an
@@ -40,51 +87,69 @@ func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
 	// tiny noise suffices, and GenObf success is not monotone in sigma, so
 	// starting high can lock the bisection into a needlessly large noise
 	// bracket.
-	phase := root.StartChild("exponential-search")
-	st.phase = phase
-	sigmaLo, sigmaHi := 0.0, 4*p.SigmaTolerance
-	var best *genObfOutcome
-	for d := 0; ; d++ {
-		out := st.genObf(sigmaHi, res)
-		if out.ok() {
-			best = &out
-			break
+	if cur.phase == phaseExponential {
+		phase := root.StartChild("exponential-search")
+		st.phase = phase
+		for {
+			out, err := st.genObfCtx(ctx, cur.sigmaHi, res)
+			if err != nil {
+				phase.End()
+				return st.interrupted(cur, res, err)
+			}
+			cur.steps = append(cur.steps, CheckpointStep{Phase: cur.phase, Sigma: cur.sigmaHi, Epsilon: out.epsilon, OK: out.ok()})
+			if out.ok() {
+				cur.best = out
+				cur.bestSigma = cur.sigmaHi
+				break
+			}
+			if cur.doublings >= p.MaxDoublings {
+				phase.SetAttr("found", false)
+				phase.End()
+				return nil, ErrNoObfuscation
+			}
+			cur.doublings++
+			cur.sigmaLo, cur.sigmaHi = cur.sigmaHi, cur.sigmaHi*4
+			st.maybeCheckpoint(cur, res)
 		}
-		if d >= p.MaxDoublings {
-			phase.SetAttr("found", false)
-			phase.End()
-			return nil, ErrNoObfuscation
-		}
-		sigmaLo, sigmaHi = sigmaHi, sigmaHi*4
+		phase.SetAttr("found", true)
+		phase.SetAttr("sigma_hi", cur.sigmaHi)
+		phase.End()
+		p.Obs.Debug("core: exponential search bracketed sigma",
+			"sigma_lo", cur.sigmaLo, "sigma_hi", cur.sigmaHi, "dur", phase.Duration())
+		cur.phase = phaseBisection
+		st.maybeCheckpoint(cur, res)
 	}
-	phase.SetAttr("found", true)
-	phase.SetAttr("sigma_hi", sigmaHi)
-	phase.End()
-	p.Obs.Debug("core: exponential search bracketed sigma",
-		"sigma_lo", sigmaLo, "sigma_hi", sigmaHi, "dur", phase.Duration())
 
 	// Phase 2: bisection for the smallest feasible sigma, keeping the best
 	// obfuscation found.
-	phase = root.StartChild("bisection")
+	phase := root.StartChild("bisection")
 	st.phase = phase
-	for sigmaHi-sigmaLo > p.SigmaTolerance {
-		mid := (sigmaLo + sigmaHi) / 2
-		out := st.genObf(mid, res)
-		if out.ok() {
-			sigmaHi = mid
-			best = &out
-		} else {
-			sigmaLo = mid
+	for cur.sigmaHi-cur.sigmaLo > p.SigmaTolerance {
+		mid := (cur.sigmaLo + cur.sigmaHi) / 2
+		out, err := st.genObfCtx(ctx, mid, res)
+		if err != nil {
+			phase.End()
+			return st.interrupted(cur, res, err)
 		}
+		cur.steps = append(cur.steps, CheckpointStep{Phase: cur.phase, Sigma: mid, Epsilon: out.epsilon, OK: out.ok()})
+		if out.ok() {
+			cur.sigmaHi = mid
+			cur.best = out
+			cur.bestSigma = mid
+		} else {
+			cur.sigmaLo = mid
+		}
+		st.maybeCheckpoint(cur, res)
 	}
-	phase.SetAttr("sigma", sigmaHi)
+	phase.SetAttr("sigma", cur.sigmaHi)
 	phase.End()
 
-	res.Graph = best.graph
-	res.EpsilonTilde = best.epsilon
-	res.Sigma = sigmaHi
+	res.Graph = cur.best.graph
+	res.EpsilonTilde = cur.best.epsilon
+	res.Sigma = cur.sigmaHi
 	root.SetAttr("sigma", res.Sigma)
 	root.SetAttr("epsilon_tilde", res.EpsilonTilde)
+	st.clearCheckpoint()
 	p.Obs.Log("core: anonymization done",
 		"variant", p.Variant.String(), "sigma", res.Sigma,
 		"epsilon_tilde", res.EpsilonTilde, "genobf_calls", res.GenObfCalls,
@@ -92,29 +157,66 @@ func Anonymize(g *uncertain.Graph, p Params) (*Result, error) {
 	return res, nil
 }
 
+// interrupted finalizes a cancelled search: it flushes a checkpoint (when
+// configured), packages the best-so-far outcome into a partial Result, and
+// wraps the cancellation cause. A checkpoint write failure is joined onto
+// the returned error — the caller must know its resume file is missing.
+func (st *searchState) interrupted(cur *searchCursor, res *Result, cause error) (*Result, error) {
+	err := interruptErr(cause, res.GenObfCalls)
+	if wErr := st.writeCheckpoint(cur, res); wErr != nil {
+		err = errors.Join(err, wErr)
+	} else if st.p.CheckpointPath != "" {
+		st.p.Obs.Log("core: search checkpointed on interrupt",
+			"path", st.p.CheckpointPath, "phase", cur.phase,
+			"genobf_calls", res.GenObfCalls)
+	}
+	res.Graph = cur.best.graph
+	res.EpsilonTilde = cur.best.epsilon
+	res.Sigma = cur.bestSigma
+	return res, err
+}
+
+func interruptErr(cause error, calls int) error {
+	return fmt.Errorf("core: σ-search interrupted after %d genobf calls: %w", calls, cause)
+}
+
+// clearCheckpoint removes a leftover checkpoint once the search completes:
+// resuming a finished run from a stale snapshot would silently rerun part
+// of the search.
+func (st *searchState) clearCheckpoint() {
+	if st.p.CheckpointPath == "" {
+		return
+	}
+	if err := removeIfExists(st.p.CheckpointPath); err != nil {
+		st.p.Obs.Log("core: removing completed checkpoint failed", "error", err.Error())
+	}
+}
+
 // searchState holds everything GenObf needs that is invariant across the
 // sigma search: the input graph, the privacy/utility scores, the exclusion
 // set and the vertex sampling distribution.
 type searchState struct {
-	g      *uncertain.Graph
-	p      Params
-	prop   []int // adversary property (default: rounded expected degree)
-	excl   map[uncertain.NodeID]bool
-	q      []float64 // per-vertex selection weight Q^v (0 for excluded)
-	cumQ   []float64 // cumulative weights for sampling
-	target int       // |E_C| target = c*|E|
-	seq    uint64    // attempt counter for RNG derivation
-	phase  *obs.Span // current search-phase span; genObf nests under it
+	g        *uncertain.Graph
+	p        Params
+	prop     []int // adversary property (default: rounded expected degree)
+	excl     map[uncertain.NodeID]bool
+	q        []float64 // per-vertex selection weight Q^v (0 for excluded)
+	cumQ     []float64 // cumulative weights for sampling
+	target   int       // |E_C| target = c*|E|
+	seq      uint64    // attempt counter for RNG derivation
+	phase    *obs.Span // current search-phase span; genObf nests under it
+	gHash    uint64    // cached input fingerprint for checkpoints
+	lastCkpt int       // GenObfCalls at the last periodic checkpoint
 }
 
-func newSearchState(g *uncertain.Graph, p Params) (*searchState, error) {
+func newSearchState(ctx context.Context, g *uncertain.Graph, p Params) (*searchState, error) {
 	n := g.NumNodes()
 
 	uniq := privacy.VertexUniqueness(g)
 
 	var vrr []float64
 	if p.Variant.reliabilitySensitive() {
-		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers, Obs: p.Obs, Cache: p.Cache}
+		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers, Obs: p.Obs, Cache: p.Cache, Ctx: ctx}
 		edgeRel := est.EdgeRelevance(g)
 		vrr = reliability.NormalizeToUnit(reliability.VertexRelevance(g, edgeRel))
 	} else {

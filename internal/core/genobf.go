@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"sort"
 
@@ -32,10 +33,30 @@ type candidate struct {
 	orig int // index into g's edge list, or -1 for a new edge
 }
 
+// genObfCtx runs one GenObf call under a context. A call cut short by
+// cancellation is discarded wholesale: the RNG stream position and the
+// call/attempt totals are rolled back to their pre-call values, so a
+// resumed run replays the call from scratch and walks the exact RNG
+// sequence an uninterrupted run would have — the property the bit-identical
+// resume guarantee rests on.
+func (st *searchState) genObfCtx(ctx context.Context, sigma float64, res *Result) (genObfOutcome, error) {
+	seqBefore := st.seq
+	callsBefore, attemptsBefore := res.GenObfCalls, res.Attempts
+	out := st.genObf(ctx, sigma, res)
+	if err := ctx.Err(); err != nil {
+		st.seq = seqBefore
+		res.GenObfCalls, res.Attempts = callsBefore, attemptsBefore
+		return genObfOutcome{}, err
+	}
+	return out, nil
+}
+
 // genObf implements Algorithm 3: t randomized trials of edge selection and
 // perturbation at noise level sigma, returning the trial with the smallest
 // achieved epsilon~ that meets the tolerance, or epsilon~ = 1 on failure.
-func (st *searchState) genObf(sigma float64, res *Result) genObfOutcome {
+// Cancellation is honored between attempts; a partial call's outcome is
+// discarded by genObfCtx.
+func (st *searchState) genObf(ctx context.Context, sigma float64, res *Result) genObfOutcome {
 	res.GenObfCalls++
 	reg := st.p.Obs.Registry()
 	reg.Counter("core.genobf_calls").Inc()
@@ -44,6 +65,9 @@ func (st *searchState) genObf(sigma float64, res *Result) genObfOutcome {
 
 	best := genObfOutcome{epsilon: 1}
 	for t := 0; t < st.p.Attempts; t++ {
+		if ctx.Err() != nil {
+			break
+		}
 		res.Attempts++
 		reg.Counter("core.genobf_attempts").Inc()
 		asp := sp.StartChild("attempt")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -12,7 +13,7 @@ import (
 
 func newState(t *testing.T, g *uncertain.Graph, p Params) *searchState {
 	t.Helper()
-	st, err := newSearchState(g, p.withDefaults())
+	st, err := newSearchState(context.Background(), g, p.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestGenObfRespectsEpsilon(t *testing.T) {
 	p := Params{K: 6, Epsilon: 0.04, Samples: 60, Seed: 11}.withDefaults()
 	st := newState(t, g, p)
 	res := &Result{}
-	out := st.genObf(0.05, res)
+	out := st.genObf(context.Background(), 0.05, res)
 	if out.ok() && out.epsilon > p.Epsilon {
 		t.Fatalf("successful outcome with eps~ %v > eps %v", out.epsilon, p.Epsilon)
 	}

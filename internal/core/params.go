@@ -100,6 +100,20 @@ type Params struct {
 	// weaker adversary; it must have length |V|.
 	Property []int
 
+	// CheckpointPath, when non-empty, is where the σ-search persists its
+	// resumable state: written atomically (temp file + rename) on
+	// interrupt, and additionally every CheckpointEvery GenObf calls.
+	// Removed when the search completes.
+	CheckpointPath string
+	// CheckpointEvery is the periodic checkpoint cadence in GenObf calls;
+	// 0 checkpoints only on interrupt.
+	CheckpointEvery int
+	// Resume, when non-nil, restores a checkpoint written by an earlier
+	// interrupted run. The checkpoint must match the input graph and every
+	// search-relevant parameter; the resumed search is deterministic and
+	// its result bit-identical to an uninterrupted run.
+	Resume *Checkpoint
+
 	// SigmaTolerance terminates the binary search when the bracket width
 	// drops below it; default 1e-3.
 	SigmaTolerance float64

@@ -33,6 +33,9 @@ func (c Config) CentralityExperiment() ([]CentralityRow, error) {
 	opts := centrality.Options{Samples: 30, Seed: c.Seed + 31, Workers: c.Workers}
 	var rows []CentralityRow
 	for _, d := range c.Datasets() {
+		if err := c.ctx().Err(); err != nil {
+			return rows, err
+		}
 		g, err := c.BuildDataset(d)
 		if err != nil {
 			return nil, err
@@ -45,8 +48,11 @@ func (c Config) CentralityExperiment() ([]CentralityRow, error) {
 				Seed: c.Seed ^ hashName(method), Workers: c.Workers,
 				Attempts: 8, MaxDoublings: 10,
 			}
-			res, err := anonymizeWith(method, g, params)
+			res, err := anonymizeWith(c.ctx(), method, g, params)
 			if err != nil {
+				if cerr := c.ctx().Err(); cerr != nil {
+					return rows, cerr
+				}
 				rows = append(rows, CentralityRow{Dataset: d.Name, Method: method, K: k, Failed: true})
 				continue
 			}

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"chameleon/internal/gen"
@@ -37,6 +38,17 @@ type Config struct {
 	// Obs, when non-nil, collects per-sweep-cell trace spans, Monte Carlo
 	// sampling metrics and structured progress logs for the whole run.
 	Obs *obs.Observer
+	// Ctx, when non-nil, cancels the experiment cooperatively: sweeps stop
+	// between cells, the σ-search inside a cell stops at GenObf attempt
+	// boundaries, and Monte Carlo estimation stops at chunk boundaries.
+	// Entry points return the context error; partially computed rows and
+	// cells are discarded, never reported or checkpointed.
+	Ctx context.Context
+	// Cells, when non-nil, checkpoints sweeps at cell granularity: finished
+	// (dataset, method, k) cells are replayed from the store instead of
+	// recomputed, so an interrupted sweep resumes where it stopped with
+	// results identical to an uninterrupted run.
+	Cells *CellStore
 
 	// cache memoizes sampled component labelings across the estimator calls
 	// of one experiment (installed by withDefaults, so every exported entry
@@ -75,6 +87,14 @@ func (c Config) withDefaults() Config {
 		c.PaperKs = []int{100, 150, 200, 250, 300}
 	}
 	return c
+}
+
+// ctx returns the run's cancellation context, Background when unset.
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // Datasets returns the evaluation datasets for this configuration: the

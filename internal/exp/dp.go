@@ -37,10 +37,13 @@ type DPRow struct {
 func (c Config) DPComparison() ([]DPRow, error) {
 	c = c.withDefaults()
 	paperK := c.PaperKs[len(c.PaperKs)/2]
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 21, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 21, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
 	ps := reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 22}
 	var rows []DPRow
 	for _, d := range c.Datasets() {
+		if err := c.ctx().Err(); err != nil {
+			return rows, err
+		}
 		g, err := c.BuildDataset(d)
 		if err != nil {
 			return nil, err
@@ -50,13 +53,19 @@ func (c Config) DPComparison() ([]DPRow, error) {
 			K: d.KScale(paperK), Epsilon: d.Epsilon, Samples: c.Samples,
 			Seed: c.Seed, Workers: c.Workers, Attempts: 8, MaxDoublings: 10,
 		}
-		res, err := core.Anonymize(g, params)
+		res, err := core.AnonymizeContext(c.ctx(), g, params)
 		if err != nil {
+			if cerr := c.ctx().Err(); cerr != nil {
+				return rows, cerr
+			}
 			rows = append(rows, DPRow{Dataset: d.Name, Method: "RSME", Failed: true})
 		} else {
 			disc, err := est.RelativeDiscrepancy(g, res.Graph, ps)
+			if err == nil {
+				err = c.ctx().Err()
+			}
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			rows = append(rows, DPRow{
 				Dataset:        d.Name,
@@ -74,8 +83,11 @@ func (c Config) DPComparison() ([]DPRow, error) {
 			rows = append(rows, DPRow{Dataset: d.Name, Method: "LT-kdeg", Failed: true})
 		} else {
 			disc, err := est.RelativeDiscrepancy(g, lt, ps)
+			if err == nil {
+				err = c.ctx().Err()
+			}
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			rows = append(rows, DPRow{
 				Dataset:        d.Name,
@@ -93,8 +105,11 @@ func (c Config) DPComparison() ([]DPRow, error) {
 				return nil, err
 			}
 			disc, err := est.RelativeDiscrepancy(g, pub, ps)
+			if err == nil {
+				err = c.ctx().Err()
+			}
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			rows = append(rows, DPRow{
 				Dataset:        d.Name,

@@ -36,9 +36,12 @@ func (c Config) EpsilonSweep(multipliers []float64) ([]EpsilonRow, error) {
 	}
 	paperK := c.PaperKs[len(c.PaperKs)/2]
 	k := d.KScale(paperK)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 51, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 51, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
 	var rows []EpsilonRow
 	for _, mult := range multipliers {
+		if err := c.ctx().Err(); err != nil {
+			return rows, err
+		}
 		eps := d.Epsilon * mult
 		if eps >= 1 {
 			eps = 0.99
@@ -47,14 +50,20 @@ func (c Config) EpsilonSweep(multipliers []float64) ([]EpsilonRow, error) {
 			K: k, Epsilon: eps, Samples: c.Samples,
 			Seed: c.Seed, Workers: c.Workers, Attempts: 8, MaxDoublings: 10,
 		}
-		res, err := core.Anonymize(g, params)
+		res, err := core.AnonymizeContext(c.ctx(), g, params)
 		if err != nil {
+			if cerr := c.ctx().Err(); cerr != nil {
+				return rows, cerr
+			}
 			rows = append(rows, EpsilonRow{Dataset: d.Name, Epsilon: eps, K: k, Failed: true})
 			continue
 		}
 		disc, err := est.RelativeDiscrepancy(g, res.Graph, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 52})
+		if err == nil {
+			err = c.ctx().Err()
+		}
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		rows = append(rows, EpsilonRow{
 			Dataset: d.Name, Epsilon: eps, K: k, Sigma: res.Sigma, RelDisc: disc,

@@ -34,6 +34,9 @@ func (c Config) AttackExperiment() ([]AttackRow, error) {
 	paperK := c.PaperKs[len(c.PaperKs)/2]
 	var rows []AttackRow
 	for _, d := range c.Datasets() {
+		if err := c.ctx().Err(); err != nil {
+			return rows, err
+		}
 		g, err := c.BuildDataset(d)
 		if err != nil {
 			return nil, err
@@ -54,8 +57,11 @@ func (c Config) AttackExperiment() ([]AttackRow, error) {
 				Seed: c.Seed ^ hashName(method), Workers: c.Workers,
 				Attempts: 8, MaxDoublings: 10,
 			}
-			res, err := anonymizeWith(method, g, params)
+			res, err := anonymizeWith(c.ctx(), method, g, params)
 			if err != nil {
+				if cerr := c.ctx().Err(); cerr != nil {
+					return rows, cerr
+				}
 				rows = append(rows, AttackRow{Dataset: d.Name, Method: method, K: k, Failed: true})
 				continue
 			}
@@ -106,10 +112,13 @@ type KNNRow struct {
 func (c Config) KNNExperiment() ([]KNNRow, error) {
 	c = c.withDefaults()
 	paperK := c.PaperKs[len(c.PaperKs)/2]
-	est := reliability.Estimator{Samples: c.Samples / 2, Seed: c.Seed + 77, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples / 2, Seed: c.Seed + 77, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
 	opts := knn.PreservationOptions{K: 10, Queries: 20, Seed: c.Seed + 78}
 	var rows []KNNRow
 	for _, d := range c.Datasets() {
+		if err := c.ctx().Err(); err != nil {
+			return rows, err
+		}
 		g, err := c.BuildDataset(d)
 		if err != nil {
 			return nil, err
@@ -121,14 +130,20 @@ func (c Config) KNNExperiment() ([]KNNRow, error) {
 				Seed: c.Seed ^ hashName(method), Workers: c.Workers,
 				Attempts: 8, MaxDoublings: 10,
 			}
-			res, err := anonymizeWith(method, g, params)
+			res, err := anonymizeWith(c.ctx(), method, g, params)
 			if err != nil {
+				if cerr := c.ctx().Err(); cerr != nil {
+					return rows, cerr
+				}
 				rows = append(rows, KNNRow{Dataset: d.Name, Method: method, K: k, Failed: true})
 				continue
 			}
 			score, err := knn.PreservationScore(g, res.Graph, opts, est)
+			if err == nil {
+				err = c.ctx().Err()
+			}
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			rows = append(rows, KNNRow{Dataset: d.Name, Method: method, K: k, Score: score})
 		}
@@ -179,22 +194,31 @@ func (c Config) CSweepAblation(multipliers []float64) ([]CSweepRow, error) {
 	}
 	paperK := c.PaperKs[len(c.PaperKs)-1]
 	k := d.KScale(paperK)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
 	var rows []CSweepRow
 	for _, mult := range multipliers {
+		if err := c.ctx().Err(); err != nil {
+			return rows, err
+		}
 		params := core.Params{
 			K: k, Epsilon: d.Epsilon, Samples: c.Samples,
 			Seed: c.Seed, Workers: c.Workers, SizeMultiplier: mult,
 			Attempts: 8, MaxDoublings: 10,
 		}
-		res, err := core.Anonymize(g, params)
+		res, err := core.AnonymizeContext(c.ctx(), g, params)
 		if err != nil {
+			if cerr := c.ctx().Err(); cerr != nil {
+				return rows, cerr
+			}
 			rows = append(rows, CSweepRow{Dataset: d.Name, C: mult, K: k, Failed: true})
 			continue
 		}
 		disc, err := est.RelativeDiscrepancy(g, res.Graph, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
+		if err == nil {
+			err = c.ctx().Err()
+		}
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		rows = append(rows, CSweepRow{Dataset: d.Name, C: mult, K: k, Sigma: res.Sigma, RelDisc: disc})
 	}

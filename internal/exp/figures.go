@@ -71,7 +71,13 @@ func (c Config) Fig4() ([]Fig4Row, error) {
 		}
 		for _, paperK := range c.PaperKs {
 			repRun := c.RunCell(d, g, base, "Rep-An", paperK)
+			if err := c.ctx().Err(); err != nil {
+				return rows, err
+			}
 			chamRun := c.RunCell(d, g, base, "RSME", paperK)
+			if err := c.ctx().Err(); err != nil {
+				return rows, err
+			}
 			rows = append(rows, Fig4Row{
 				Dataset:        d.Name,
 				PaperK:         paperK,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -76,19 +77,19 @@ func (c Config) MeasureBaseline(d gen.Dataset, g *uncertain.Graph) Baseline {
 }
 
 // anonymizeWith dispatches to the right pipeline for a named method.
-func anonymizeWith(method string, g *uncertain.Graph, p core.Params) (*core.Result, error) {
+func anonymizeWith(ctx context.Context, method string, g *uncertain.Graph, p core.Params) (*core.Result, error) {
 	switch method {
 	case "RSME":
 		p.Variant = core.RSME
-		return core.Anonymize(g, p)
+		return core.AnonymizeContext(ctx, g, p)
 	case "RS":
 		p.Variant = core.RS
-		return core.Anonymize(g, p)
+		return core.AnonymizeContext(ctx, g, p)
 	case "ME":
 		p.Variant = core.ME
-		return core.Anonymize(g, p)
+		return core.AnonymizeContext(ctx, g, p)
 	case "Rep-An":
-		return repan.Anonymize(g, p)
+		return repan.AnonymizeContext(ctx, g, p)
 	default:
 		return nil, fmt.Errorf("exp: unknown method %q", method)
 	}
@@ -99,6 +100,14 @@ func anonymizeWith(method string, g *uncertain.Graph, p core.Params) (*core.Resu
 func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method string, paperK int) Run {
 	c = c.withDefaults()
 	k := d.KScale(paperK)
+	if cached, ok := c.Cells.Get(d.Name, method, paperK); ok {
+		// Cell seeds depend only on (config seed, method, k), so a stored
+		// cell is exactly what recomputing it would produce.
+		c.Obs.Registry().Counter("exp.cells_restored").Inc()
+		c.Obs.Debug("exp: cell restored from sweep checkpoint",
+			"dataset", d.Name, "method", method, "k", k)
+		return cached
+	}
 	run := Run{Dataset: d.Name, Method: method, PaperK: paperK, K: k}
 	start := time.Now()
 	cell := obs.NewSpan("sweep.cell")
@@ -118,6 +127,14 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		c.Obs.Debug("exp: cell done", "dataset", d.Name, "method", method,
 			"k", k, "failed", run.Failed, "anon", run.AnonElapsed,
 			"eval", run.EvalElapsed, "total", run.Elapsed)
+		if c.ctx().Err() == nil {
+			// Only genuinely finished cells are checkpointed: a cell whose
+			// failure is the cancellation itself must be recomputed on
+			// resume, not replayed as a failure.
+			if err := c.Cells.Put(*run); err != nil {
+				c.Obs.Log("exp: sweep checkpoint write failed", "error", err.Error())
+			}
+		}
 	}
 
 	params := core.Params{
@@ -134,7 +151,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		Attempts:     8,
 		MaxDoublings: 10,
 	}
-	res, err := anonymizeWith(method, g, params)
+	res, err := anonymizeWith(c.ctx(), method, g, params)
 	run.AnonElapsed = time.Since(start)
 	if res != nil {
 		cell.Adopt(res.Trace)
@@ -151,8 +168,13 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 	evalStart := time.Now()
 	eval := cell.StartChild("evaluate")
 	pub := res.Graph
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
 	rel, err := est.RelativeDiscrepancy(g, pub, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
+	if err == nil {
+		// Evaluation truncated by cancellation yields garbage metrics; fold
+		// it into the failure path (finish skips checkpointing it).
+		err = c.ctx().Err()
+	}
 	if err != nil {
 		run.Failed = true
 		run.FailReason = err.Error()
@@ -187,7 +209,13 @@ func (c Config) Sweep(d gen.Dataset, methods []string) ([]Run, Baseline, error) 
 	var runs []Run
 	for _, method := range methods {
 		for _, paperK := range c.PaperKs {
-			runs = append(runs, c.RunCell(d, g, base, method, paperK))
+			run := c.RunCell(d, g, base, method, paperK)
+			if err := c.ctx().Err(); err != nil {
+				// The interrupted cell's row is partial garbage; report only
+				// the cells that finished.
+				return runs, base, err
+			}
+			runs = append(runs, run)
 		}
 	}
 	return runs, base, nil
@@ -209,12 +237,22 @@ func (c Config) SweepAll(methods []string) ([]Run, []Baseline, error) {
 	return allRuns, bases, nil
 }
 
+// Finish marks a fully completed experiment: the sweep checkpoint (if any)
+// is cleared so a later invocation starts fresh instead of replaying.
+func (c Config) Finish() error {
+	return c.Cells.Clear()
+}
+
 // ExtractionOnlyDiscrepancy measures the reliability discrepancy caused by
 // the representative-extraction step alone (Figure 4's discussion: "the
 // sole representative extraction step produces high reliability errors").
 func (c Config) ExtractionOnlyDiscrepancy(g *uncertain.Graph) (float64, error) {
 	c = c.withDefaults()
 	rep := repan.Representative(g)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache}
-	return est.RelativeDiscrepancy(g, rep, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
+	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
+	disc, err := est.RelativeDiscrepancy(g, rep, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
+	if err == nil {
+		err = c.ctx().Err()
+	}
+	return disc, err
 }

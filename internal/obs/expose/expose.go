@@ -13,7 +13,9 @@
 package expose
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -30,6 +32,11 @@ const DefaultNamespace = "chameleon"
 
 // DefaultInterval is the differ tick period when Options.Interval is zero.
 const DefaultInterval = 5 * time.Second
+
+// shutdownTimeout bounds the graceful-drain window in Close: in-flight
+// requests (a /metrics scrape, a pprof profile download) get this long to
+// finish before the server is closed abruptly.
+const shutdownTimeout = 2 * time.Second
 
 // Options configures a Server.
 type Options struct {
@@ -66,10 +73,11 @@ type Server struct {
 	rates  map[string]float64
 	runs   []RunInfo
 
-	lis  net.Listener
-	srv  *http.Server
-	done chan struct{}
-	wg   sync.WaitGroup
+	lis      net.Listener
+	srv      *http.Server
+	done     chan struct{}
+	wg       sync.WaitGroup
+	serveErr error // guarded by mu; set by the Serve goroutine
 }
 
 // New builds a server over the observer. The differ's first baseline is
@@ -129,7 +137,13 @@ func (s *Server) Start(addr string) (string, error) {
 	s.wg.Add(2)
 	go func() {
 		defer s.wg.Done()
-		s.srv.Serve(lis) // returns ErrServerClosed on Close
+		// Shutdown/Close make Serve return ErrServerClosed; anything else
+		// (an accept failure, say) is a real fault surfaced by Close.
+		if err := s.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+		}
 	}()
 	go func() {
 		defer s.wg.Done()
@@ -147,15 +161,30 @@ func (s *Server) Start(addr string) (string, error) {
 	return lis.Addr().String(), nil
 }
 
-// Close stops the listener and the differ and waits for both to exit.
-// Safe on a nil or never-started server.
+// Close stops the differ, drains the HTTP server gracefully (in-flight
+// requests get shutdownTimeout to complete; then the server is closed
+// abruptly) and waits for both goroutines to exit. It reports any error
+// the Serve loop hit while running, so a listener that died mid-run is
+// not silently forgotten. Safe on a nil or never-started server.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
 	close(s.done)
-	err := s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// The drain window expired (or the context machinery failed):
+		// fall back to an abrupt close so Close never hangs on a stuck
+		// client connection.
+		err = errors.Join(err, s.srv.Close())
+	}
 	s.wg.Wait()
+	s.mu.Lock()
+	err = errors.Join(err, s.serveErr)
+	s.serveErr = nil
+	s.mu.Unlock()
 	s.srv = nil
 	return err
 }

@@ -287,6 +287,86 @@ func TestStartClose(t *testing.T) {
 	}
 }
 
+// TestCloseDrainsInFlightRequest: Close shuts down gracefully, so a
+// request already being served completes instead of being cut off
+// mid-response.
+func TestCloseDrainsInFlightRequest(t *testing.T) {
+	s := New(testObserver(), Options{Interval: time.Hour})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	})
+	// Start with the instrumented mux in place of the default handler.
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.srv.Handler = mux
+
+	body := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			body <- "error: " + err.Error()
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body <- string(b)
+	}()
+	<-entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Give Close a moment to enter its drain, then let the handler finish
+	// well inside the shutdown window.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-closed; err != nil {
+		t.Fatalf("Close during in-flight request: %v", err)
+	}
+	if got := <-body; got != "done" {
+		t.Errorf("in-flight response = %q, want %q (request was cut off)", got, "done")
+	}
+}
+
+// TestCloseReportsServeError: a listener that dies mid-run is surfaced
+// by Close instead of being swallowed by the Serve goroutine.
+func TestCloseReportsServeError(t *testing.T) {
+	s := New(testObserver(), Options{Interval: time.Hour})
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the listener out from under Serve: Serve returns a non-
+	// ErrServerClosed accept error, which Close must report (Close joins
+	// it with whatever its own shutdown saw). Wait until Serve has
+	// actually observed the dead listener — if Close's Shutdown wins the
+	// race, Serve returns ErrServerClosed and the fault is lost.
+	s.lis.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		got := s.serveErr
+		s.mu.Unlock()
+		if got != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Serve never observed the closed listener")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err == nil {
+		t.Error("Close returned nil after the listener died under Serve")
+	}
+}
+
 // TestNilServerSafety: every method on a nil *Server is a usable no-op,
 // matching the obs nil-disables-everything contract.
 func TestNilServerSafety(t *testing.T) {

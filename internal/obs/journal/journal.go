@@ -31,7 +31,8 @@ import (
 //	"begin":    RunID, At, Command, Args
 //	"snapshot": RunID, At, Snapshot, Rates
 //	"span":     RunID, At, Span
-//	"end":      RunID, At, Status, Snapshot (the final CI report)
+//	"end":      RunID, At, Status, Snapshot (the final CI report),
+//	            Error (what stopped a "failed"/"interrupted" run)
 type Record struct {
 	Type     string             `json:"type"`
 	RunID    string             `json:"run_id"`
@@ -39,6 +40,7 @@ type Record struct {
 	Command  string             `json:"command,omitempty"`
 	Args     []string           `json:"args,omitempty"`
 	Status   string             `json:"status,omitempty"`
+	Error    string             `json:"error,omitempty"`
 	Snapshot *obs.Snapshot      `json:"snapshot,omitempty"`
 	Rates    map[string]float64 `json:"rates,omitempty"`
 	Span     *obs.Span          `json:"span,omitempty"`
@@ -141,13 +143,21 @@ func (w *Writer) WriteSpan(at time.Time, s *obs.Span) error {
 	return w.append(Record{Type: "span", At: at, Span: s})
 }
 
-// End closes the run with its status ("done" or "failed") and the final
-// registry snapshot — the run's CI report, quality streams included.
+// End closes the run with its status ("done", "failed" or "interrupted")
+// and the final registry snapshot — the run's CI report, quality streams
+// included.
 func (w *Writer) End(at time.Time, status string, final obs.Snapshot) error {
+	return w.EndWithError(at, status, "", final)
+}
+
+// EndWithError is End carrying the message of whatever stopped the run —
+// the error of a "failed" run, the signal or deadline of an "interrupted"
+// one — so a replayed journal can say why, not just that, a run died.
+func (w *Writer) EndWithError(at time.Time, status, errMsg string, final obs.Snapshot) error {
 	if w == nil {
 		return nil
 	}
-	return w.append(Record{Type: "end", At: at, Status: status, Snapshot: &final})
+	return w.append(Record{Type: "end", At: at, Status: status, Error: errMsg, Snapshot: &final})
 }
 
 // Close flushes and closes the underlying file (no-op for NewWriter over
@@ -177,7 +187,10 @@ type SnapshotPoint struct {
 }
 
 // Run is one replayed run: its identity, every periodic snapshot in
-// journal order, the recorded phase traces, and the final snapshot.
+// journal order, the recorded phase traces, and the final snapshot. A run
+// without an end record keeps Status "running" and a zero End time — the
+// signature of a journal truncated mid-run (a crash or a kill -9 that
+// outran the interrupt handler).
 type Run struct {
 	ID        string
 	Command   string
@@ -185,10 +198,15 @@ type Run struct {
 	Start     time.Time
 	End       time.Time
 	Status    string
+	Error     string // what stopped a "failed"/"interrupted" run, if recorded
 	Snapshots []SnapshotPoint
 	Spans     []*obs.Span
 	Final     *obs.Snapshot
 }
+
+// Truncated reports whether the run never reached its end record: it is
+// either still in flight or its process died without flushing one.
+func (r *Run) Truncated() bool { return r.End.IsZero() }
 
 // Read replays a journal stream into runs, keyed and ordered by first
 // appearance. Records for runs whose "begin" line is missing (a truncated
@@ -237,7 +255,7 @@ func Read(r io.Reader) ([]*Run, error) {
 			}
 			run.Spans = append(run.Spans, rec.Span)
 		case "end":
-			run.End, run.Status, run.Final = rec.At, rec.Status, rec.Snapshot
+			run.End, run.Status, run.Error, run.Final = rec.At, rec.Status, rec.Error, rec.Snapshot
 		default:
 			return nil, fmt.Errorf("journal: line %d: unknown record type %q", line, rec.Type)
 		}

@@ -251,6 +251,44 @@ func TestTruncatedAndMalformed(t *testing.T) {
 	}
 }
 
+// TestEndWithError: the end record's error message survives the round
+// trip, and runs with/without an end record are told apart by Truncated.
+func TestEndWithError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Begin("chameleon", nil, time.Unix(10, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndWithError(time.Unix(20, 0).UTC(), "interrupted", "signal: interrupt", obs.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := runs[0]
+	if run.Status != "interrupted" || run.Error != "signal: interrupt" {
+		t.Errorf("run = status %q error %q, want interrupted / signal: interrupt", run.Status, run.Error)
+	}
+	if run.Truncated() {
+		t.Error("run with an end record reported as truncated")
+	}
+
+	// A journal that stops mid-run has no end record: truncated.
+	var cut bytes.Buffer
+	w2 := NewWriter(&cut)
+	if _, err := w2.Begin("chameleon", nil, time.Unix(30, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	runs, err = Read(bytes.NewReader(cut.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runs[0].Truncated() || runs[0].Status != "running" {
+		t.Errorf("end-less run = truncated %v status %q, want true/running", runs[0].Truncated(), runs[0].Status)
+	}
+}
+
 // TestNilWriterSafety: every method on a nil *Writer no-ops, so the CLIs
 // journal unconditionally.
 func TestNilWriterSafety(t *testing.T) {
@@ -269,6 +307,9 @@ func TestNilWriterSafety(t *testing.T) {
 	}
 	if err := w.End(time.Now(), "done", obs.Snapshot{}); err != nil {
 		t.Errorf("nil End: %v", err)
+	}
+	if err := w.EndWithError(time.Now(), "failed", "boom", obs.Snapshot{}); err != nil {
+		t.Errorf("nil EndWithError: %v", err)
 	}
 	if err := w.Close(); err != nil {
 		t.Errorf("nil Close: %v", err)

@@ -180,6 +180,12 @@ func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
 		return float64(pairs)
 	})
 	if e.Cache != nil {
+		if e.cancelled() {
+			// A labeling cut short by cancellation holds uninitialized
+			// cells; caching it would poison later (resumed) calls in the
+			// same process. The caller discards it via Ctx.Err().
+			return ls
+		}
 		e.Obs.Registry().Counter("mc.label_cache.misses").Inc()
 		e.Cache.put(e.labelKeyFor(g), ls)
 	}

@@ -56,6 +56,9 @@ func (e Estimator) Discrepancy(g, h *uncertain.Graph) (float64, error) {
 	var delta float64
 	var w obs.Welford
 	for u := 0; u < n; u++ {
+		if u&63 == 0 && e.cancelled() {
+			break // partial sum: caller observes Ctx.Err() and discards
+		}
 		for v := u + 1; v < n; v++ {
 			d := pairAbsDiff(lg, lh, u, v, nInv)
 			delta += d
@@ -113,6 +116,9 @@ func (e Estimator) SampledPairDiscrepancy(g, h *uncertain.Graph, ps PairSample) 
 	var total float64
 	var w obs.Welford
 	for i := 0; i < pairs; i++ {
+		if i&1023 == 0 && e.cancelled() {
+			break // partial sum: caller observes Ctx.Err() and discards
+		}
 		d := pairAbsDiff(lg, lh, us[i], vs[i], nInv)
 		total += d
 		w.Add(d)

@@ -6,6 +6,7 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -51,6 +52,21 @@ type Estimator struct {
 	// world stream for a given seed: still deterministic, but estimates no
 	// longer replay bit-for-bit against the default sampler.
 	FastSampling bool
+	// Ctx, when non-nil, cancels sampling cooperatively: workers stop
+	// claiming chunks (and the serial loop stops drawing) at the next
+	// sampleChunk boundary once the context is done. A cancelled call
+	// still returns — with a value computed from the partial sample set,
+	// which is statistically meaningless — so callers that set Ctx MUST
+	// check Ctx.Err() after every estimator call and discard the result
+	// when it is non-nil. Nil means no cancellation, and the hot loop pays
+	// only a nil test per chunk.
+	Ctx context.Context
+}
+
+// cancelled reports whether the estimator's context is done. One nil test
+// on the no-context fast path.
+func (e Estimator) cancelled() bool {
+	return e.Ctx != nil && e.Ctx.Err() != nil
 }
 
 func (e Estimator) samples() int {
@@ -168,6 +184,15 @@ func workerName(w int) string {
 // so the steady state allocates nothing. Metrics go through the nil-safe
 // registry path: a nil Obs yields a nil registry whose instruments drop
 // updates, so no call site guards.
+//
+// Cancellation (Estimator.Ctx) is cooperative at chunk boundaries: the
+// serial loop re-tests the context every sampleChunk samples and the
+// parallel workers re-test it before claiming each chunk, so a cancelled
+// call drains within one chunk per worker and forEachSample returns with
+// whatever was accumulated. The mc.worlds_sampled and per-worker counters
+// record the worlds actually drawn (not the requested budget), so the
+// sample-balance invariant sum(mc.worker.*) == mc.worlds_sampled holds on
+// interrupted runs too.
 func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch) float64) obs.Welford {
 	n := e.samples()
 	reg := e.Obs.Registry()
@@ -184,17 +209,22 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 		// allocation-free.
 		var stat obs.Welford
 		sc := scratchPool.Get().(*scratch)
-		for i := 0; i < n; i++ {
+		i := 0
+		for ; i < n; i++ {
+			if i%sampleChunk == 0 && e.cancelled() {
+				break
+			}
 			sc.pcg.Seed(e.Seed, e.streamFor(i))
 			sample(sampler, &sc.world, &sc.pcg)
 			stat.Add(fn(i, sc))
 		}
 		scratchPool.Put(sc)
-		reg.Counter("mc.worlds_sampled").Add(int64(n))
-		reg.Counter(workerName(0)).Add(int64(n))
+		reg.Counter("mc.worlds_sampled").Add(int64(i))
+		reg.Counter(workerName(0)).Add(int64(i))
 		return stat
 	}
 	var stat obs.Welford
+	var totalDrawn int64
 	var mu sync.Mutex
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -205,7 +235,7 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 			sc := scratchPool.Get().(*scratch)
 			var drawn int64
 			var local obs.Welford
-			for {
+			for !e.cancelled() {
 				start := int(cursor.Add(sampleChunk)) - sampleChunk
 				if start >= n {
 					break
@@ -224,12 +254,13 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 			scratchPool.Put(sc)
 			mu.Lock()
 			stat.Merge(local)
+			totalDrawn += drawn
 			mu.Unlock()
 			reg.Counter(workerName(w)).Add(drawn)
 		}(w)
 	}
 	wg.Wait()
-	reg.Counter("mc.worlds_sampled").Add(int64(n))
+	reg.Counter("mc.worlds_sampled").Add(totalDrawn)
 	return stat
 }
 
@@ -275,7 +306,10 @@ func (e Estimator) recordPairSpread(op string, w obs.Welford) {
 // ...) — a collision would duplicate metric families and abort Prometheus
 // scrapes. convergence gates the under-sampled flag.
 func (e Estimator) recordStream(name, op string, w obs.Welford, convergence bool) {
-	if e.Obs == nil || w.Count() < 2 {
+	if e.Obs == nil || w.Count() < 2 || e.cancelled() {
+		// A cancelled estimate's accumulator covers a truncated sample set;
+		// recording it would pollute the quality streams of the final
+		// (interrupted) snapshot with bogus convergence data.
 		return
 	}
 	reg := e.Obs.Registry()
@@ -368,6 +402,9 @@ func (e Estimator) ReliabilityVector(g *uncertain.Graph, src uncertain.NodeID) [
 	out := make([]float64, g.NumNodes())
 	for i := 0; i < n; i++ {
 		l := labels[i]
+		if l == nil {
+			break // cancelled mid-sampling: rows past the cut were never drawn
+		}
 		ls := l[src]
 		for v := range out {
 			if l[v] == ls {

@@ -71,6 +71,13 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 		copy(ar.masks[i*words:(i+1)*words], sc.world.Bits())
 		return float64(pairs)
 	})
+	if e.cancelled() {
+		// The arena rows for undrawn samples are uninitialized: scanning
+		// them could index phantom edges past m. Return zeros; the caller
+		// observes Ctx.Err() and discards the result.
+		relArenaPool.Put(ar)
+		return make([]float64, m)
+	}
 	e.recordQuality("EdgeRelevance", ccStat)
 
 	// tailMask zeroes the complement's phantom bits past edge m-1.
@@ -170,6 +177,9 @@ func (e Estimator) conditionalCC(g *uncertain.Graph, edge int, present bool) flo
 	sc := scratchPool.Get().(*scratch)
 	var total float64
 	for i := 0; i < n; i++ {
+		if i%sampleChunk == 0 && e.cancelled() {
+			break // partial mean: caller observes Ctx.Err() and discards
+		}
 		sc.pcg.Seed(e.Seed, e.streamFor(1_000_000+i))
 		sample(sampler, &sc.world, &sc.pcg)
 		sc.world.SetPresence(edge, present)
@@ -190,6 +200,9 @@ func (e Estimator) EdgeRelevanceNaive(g *uncertain.Graph) []float64 {
 	n := e.samples()
 	out := make([]float64, m)
 	for i := 0; i < m; i++ {
+		if e.cancelled() {
+			break // partial ranking: caller observes Ctx.Err() and discards
+		}
 		var ccE, ccNE float64
 		for s := 0; s < n; s++ {
 			rng := e.rngFor(i*n + s)

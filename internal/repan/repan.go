@@ -12,6 +12,8 @@
 package repan
 
 import (
+	"context"
+
 	"chameleon/internal/core"
 	"chameleon/internal/uncertain"
 )
@@ -111,6 +113,15 @@ func DegreeDiscrepancy(g, rep *uncertain.Graph) float64 {
 // The rescaling keeps the comparison fair — both pipelines may touch the
 // same number of vertex pairs.
 func Anonymize(g *uncertain.Graph, p core.Params) (*core.Result, error) {
+	return AnonymizeContext(context.Background(), g, p)
+}
+
+// AnonymizeContext is Anonymize under a cancellable context; see
+// core.AnonymizeContext for the cancellation and checkpoint/resume
+// semantics. Checkpoints taken here reference the (deterministically
+// re-derived) representative, so resuming through this function validates
+// and replays correctly.
+func AnonymizeContext(ctx context.Context, g *uncertain.Graph, p core.Params) (*core.Result, error) {
 	rep := Representative(g)
 	if rep.NumEdges() > 0 {
 		c := p.SizeMultiplier
@@ -120,5 +131,5 @@ func Anonymize(g *uncertain.Graph, p core.Params) (*core.Result, error) {
 		p.SizeMultiplier = c * float64(g.NumEdges()) / float64(rep.NumEdges())
 	}
 	p.Variant = core.Boldi
-	return core.Anonymize(rep, p)
+	return core.AnonymizeContext(ctx, rep, p)
 }

@@ -27,11 +27,13 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
-echo "== go test -race -count=2 ./internal/obs/... (telemetry layer) =="
+echo "== go test -race -count=2 (telemetry, MC workers, CLI runner) =="
 # The expose differ, journal writer and quality streams are the
-# concurrency-heavy additions; a dedicated double-count race pass keeps
-# them covered even if the main pass is ever narrowed.
-go test -race -count=2 ./internal/obs/...
+# concurrency-heavy additions, and the reliability worker pools plus the
+# runner's signal/cancellation paths cross goroutines by design; a
+# dedicated double-count race pass keeps them covered even if the main
+# pass is ever narrowed.
+go test -race -count=2 ./internal/obs/... ./internal/reliability/... ./cmd/internal/runner/...
 
 # Both BENCH artifacts share one schema — {name, ns_per_op,
 # allocs_per_op, iterations} — so cmd/benchcmp can gate either file.
