@@ -18,41 +18,54 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
 
+	"chameleon/cmd/internal/runner"
 	"chameleon/internal/obs/journal"
 )
 
 func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "journalreplay:", err)
+		os.Exit(runner.ExitCode(err))
+	}
+}
+
+// run is the whole tool behind a writer so the golden-file test can
+// capture its exact output without a subprocess.
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("journalreplay", flag.ContinueOnError)
 	var (
-		jsonOut = flag.Bool("json", false, "dump the replayed runs as JSON")
-		metric  = flag.String("metric", "", "compare this metric's final value across runs")
-		full    = flag.Bool("full", false, "print each run's final metrics snapshot")
+		jsonOut = fs.Bool("json", false, "dump the replayed runs as JSON")
+		metric  = fs.String("metric", "", "compare this metric's final value across runs")
+		full    = fs.Bool("full", false, "print each run's final metrics snapshot")
 	)
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "journalreplay: at least one journal file is required")
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return runner.Usagef("%v", err)
+	}
+	if fs.NArg() == 0 {
+		return runner.Usagef("at least one journal file is required")
 	}
 
 	var runs []*journal.Run
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		rs, err := journal.ReadFile(path)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		runs = append(runs, rs...)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		fail(enc.Encode(runs))
-		return
+		return enc.Encode(runs)
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "RUN\tCOMMAND\tSTATUS\tSTART\tDURATION\tSNAPSHOTS\tSPANS\tERROR")
 	for _, run := range runs {
 		dur := "-"
@@ -74,11 +87,13 @@ func main() {
 			run.ID, run.Command, status, run.Start.Format(time.RFC3339), dur,
 			len(run.Snapshots), len(run.Spans), errCol)
 	}
-	fail(tw.Flush())
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 
 	if *metric != "" {
-		fmt.Printf("\nfinal %s per run:\n", *metric)
-		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(out, "\nfinal %s per run:\n", *metric)
+		tw = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		var base float64
 		haveBase := false
 		for _, run := range runs {
@@ -95,22 +110,27 @@ func main() {
 			}
 			fmt.Fprintf(tw, "%s\t%g%s\t%s\n", run.ID, v, detail, delta)
 		}
-		fail(tw.Flush())
+		if err := tw.Flush(); err != nil {
+			return err
+		}
 	}
 
 	if *full {
 		for _, run := range runs {
-			fmt.Printf("\n=== %s (%s, %s) ===\n", run.ID, run.Command, run.Status)
+			fmt.Fprintf(out, "\n=== %s (%s, %s) ===\n", run.ID, run.Command, run.Status)
 			if run.Error != "" {
-				fmt.Printf("stopped by: %s\n", run.Error)
+				fmt.Fprintf(out, "stopped by: %s\n", run.Error)
 			}
 			if run.Final == nil {
-				fmt.Println("(no end record: run truncated or still in flight)")
+				fmt.Fprintln(out, "(no end record: run truncated or still in flight)")
 				continue
 			}
-			fail(run.Final.WriteText(os.Stdout))
+			if err := run.Final.WriteText(out); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // lookupMetric resolves a dotted metric name against a run's final
@@ -130,11 +150,4 @@ func lookupMetric(run *journal.Run, name string) (value float64, detail string, 
 		return q.Mean, fmt.Sprintf(" (ci95 [%.6g, %.6g], n=%d)", q.CI95Lo, q.CI95Hi, q.Count), true
 	}
 	return 0, "", false
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "journalreplay:", err)
-		os.Exit(1)
-	}
 }

@@ -14,6 +14,16 @@ import (
 	"path/filepath"
 )
 
+// Fault-injection seams: the crash-simulation tests override these to
+// fail mid-write, on fsync, on close, or on rename, proving the original
+// file survives every failure point. Production code never touches them.
+var (
+	writeFile  = (*os.File).Write
+	syncFile   = (*os.File).Sync
+	closeFile  = (*os.File).Close
+	renameFile = os.Rename
+)
+
 // Write atomically replaces path with data.
 func Write(path string, data []byte) error {
 	dir := filepath.Dir(path)
@@ -22,20 +32,20 @@ func Write(path string, data []byte) error {
 		return fmt.Errorf("atomicfile: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := writeFile(tmp, data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("atomicfile: %w", err)
 	}
 	// Sync before rename: a rename is only atomic against crashes if the
 	// new content is durable first.
-	if err := tmp.Sync(); err != nil {
+	if err := syncFile(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("atomicfile: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
+	if err := closeFile(tmp); err != nil {
 		return fmt.Errorf("atomicfile: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := renameFile(tmp.Name(), path); err != nil {
 		return fmt.Errorf("atomicfile: %w", err)
 	}
 	return nil

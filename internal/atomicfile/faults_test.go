@@ -1,0 +1,170 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// noTempLeft asserts the destination directory holds no abandoned temp
+// files — every failure path must clean up after itself.
+func noTempLeft(t *testing.T, path string) {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// wantOriginal asserts path still holds exactly its pre-failure content.
+func wantOriginal(t *testing.T, path, content string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != content {
+		t.Fatalf("original corrupted: %q, want %q", got, content)
+	}
+}
+
+// TestPartialWriteLeavesOriginalIntact simulates a crash mid-payload: the
+// write seam stores half the bytes and then fails, as a full disk or a
+// kill during a large checkpoint would. The destination must still be the
+// complete previous version, byte for byte.
+func TestPartialWriteLeavesOriginalIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := Write(path, []byte("complete-old-state")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	writeFile = func(f *os.File, data []byte) (int, error) {
+		n, _ := f.Write(data[:len(data)/2]) // torn write hits the temp file only
+		return n, boom
+	}
+	t.Cleanup(func() { writeFile = (*os.File).Write })
+
+	err := Write(path, []byte("new-state-that-never-lands"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want the injected write failure", err)
+	}
+	wantOriginal(t, path, "complete-old-state")
+	noTempLeft(t, path)
+}
+
+// TestSyncErrorSurfaces: an fsync failure means the new bytes may not be
+// durable, so Write must fail (never rename) and report the cause.
+func TestSyncErrorSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := Write(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("fsync: I/O error")
+	syncFile = func(*os.File) error { return boom }
+	t.Cleanup(func() { syncFile = (*os.File).Sync })
+
+	err := Write(path, []byte("new"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want the injected sync failure", err)
+	}
+	wantOriginal(t, path, "old")
+	noTempLeft(t, path)
+}
+
+// TestCloseErrorSurfaces: close is where delayed write errors surface on
+// some filesystems (NFS famously), so it must fail the operation too.
+func TestCloseErrorSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := Write(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("close: deferred write error")
+	closeFile = func(f *os.File) error {
+		f.Close() // release the descriptor so the temp file can be removed
+		return boom
+	}
+	t.Cleanup(func() { closeFile = (*os.File).Close })
+
+	err := Write(path, []byte("new"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want the injected close failure", err)
+	}
+	wantOriginal(t, path, "old")
+	noTempLeft(t, path)
+}
+
+// TestRenameErrorSurfaces: a failed rename leaves the original in place
+// and removes the orphaned temp file.
+func TestRenameErrorSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := Write(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("rename: permission denied")
+	renameFile = func(oldpath, newpath string) error { return boom }
+	t.Cleanup(func() { renameFile = os.Rename })
+
+	err := Write(path, []byte("new"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want the injected rename failure", err)
+	}
+	wantOriginal(t, path, "old")
+	noTempLeft(t, path)
+}
+
+// TestRenameOverExistingSemantics pins the rename-over-existing contract
+// Write relies on: replacing an existing destination preserves no trace
+// of it, works repeatedly, and the destination is readable with the new
+// content immediately after each Write returns.
+func TestRenameOverExistingSemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	contents := []string{"v1", "v2-longer-than-before", "v3"}
+	for _, c := range contents {
+		if err := Write(path, []byte(c)); err != nil {
+			t.Fatal(err)
+		}
+		wantOriginal(t, path, c)
+		noTempLeft(t, path)
+	}
+	// The final file is a regular file with the last content, not a
+	// symlink or a temp artifact.
+	info, err := os.Lstat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Mode().IsRegular() {
+		t.Fatalf("destination mode = %v, want a regular file", info.Mode())
+	}
+	if info.Size() != int64(len(contents[len(contents)-1])) {
+		t.Fatalf("size = %d, want %d", info.Size(), len(contents[len(contents)-1]))
+	}
+}
+
+// TestWriteJSONPropagatesFaults: the JSON wrapper goes through the same
+// atomic path, so injected faults surface there too.
+func TestWriteJSONPropagatesFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.json")
+	if err := WriteJSON(path, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sync boom")
+	syncFile = func(*os.File) error { return boom }
+	t.Cleanup(func() { syncFile = (*os.File).Sync })
+	if err := WriteJSON(path, map[string]int{"a": 2}); !errors.Is(err, boom) {
+		t.Fatalf("WriteJSON error = %v, want injected fault", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"a": 1`) {
+		t.Fatalf("original JSON corrupted: %s", raw)
+	}
+}

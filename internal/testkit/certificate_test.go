@@ -1,0 +1,176 @@
+package testkit_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/privacy"
+	"chameleon/internal/testkit"
+	"chameleon/internal/uncertain"
+)
+
+// anonGraph builds the small heavy-tailed graph the facade tests use for
+// fast anonymization.
+func anonGraph() *uncertain.Graph {
+	g := uncertain.New(120)
+	for i := 1; i < 120; i++ {
+		g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i/2), 0.6)
+		if i > 1 && !g.HasEdge(uncertain.NodeID(i), uncertain.NodeID(i-1)) {
+			g.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i-1), 0.3)
+		}
+	}
+	return g
+}
+
+// TestCertifyPublishedGraphs is the certificate checker's main contract:
+// every method's published output must be independently certifiable, and
+// the independent verdict must agree with the production checker's count
+// (up to the documented Boundary band).
+func TestCertifyPublishedGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anonymization e2e in -short mode")
+	}
+	g := anonGraph()
+	const (
+		k   = 5
+		eps = 0.05
+	)
+	for _, m := range []chameleon.Method{
+		chameleon.MethodRSME, chameleon.MethodRS, chameleon.MethodME, chameleon.MethodRepAn,
+	} {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			t.Parallel()
+			res, err := chameleon.Anonymize(g, chameleon.Options{
+				K: k, Epsilon: eps, Method: m, Samples: 100, Seed: 9,
+			})
+			if err != nil {
+				t.Fatalf("Anonymize(%s): %v", m, err)
+			}
+			cert, err := testkit.CheckCertificate(g, res.Graph, k, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cert.Valid {
+				t.Fatalf("%s output fails independent certification: eps~ = %v > %v (non-obf %d/%d)",
+					m, cert.EpsilonTilde, eps, cert.NonObfuscated, cert.Vertices)
+			}
+			if cert.MinEntropy < math.Log2(k)-testkit.EntropyTolerance && cert.NonObfuscated == 0 {
+				t.Errorf("MinEntropy %v below threshold but no vertex counted non-obfuscated", cert.MinEntropy)
+			}
+
+			// Agreement with the production checker: the certificate may be
+			// lenient only inside its documented Boundary band.
+			rep, err := privacy.CheckObfuscation(res.Graph, privacy.DegreeProperty(g), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.NonObfuscated < cert.NonObfuscated ||
+				rep.NonObfuscated > cert.NonObfuscated+cert.Boundary {
+				t.Errorf("production counts %d non-obfuscated, certificate %d (+%d boundary): implementations disagree",
+					rep.NonObfuscated, cert.NonObfuscated, cert.Boundary)
+			}
+
+			// Relabel invariance of the certificate itself: renaming the
+			// vertices of both graphs must not change the verdict.
+			n := g.NumNodes()
+			perm := make([]uncertain.NodeID, n)
+			for v := range perm {
+				perm[v] = uncertain.NodeID(n - 1 - v)
+			}
+			rcert, err := testkit.CheckCertificate(
+				testkit.Relabel(g, perm), testkit.Relabel(res.Graph, perm), k, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rcert.NonObfuscated != cert.NonObfuscated || rcert.Valid != cert.Valid {
+				t.Errorf("relabeling changed the certificate: %+v vs %+v", rcert, cert)
+			}
+			if math.Abs(rcert.MinEntropy-cert.MinEntropy) > 1e-9 {
+				t.Errorf("relabeling moved MinEntropy: %v vs %v", rcert.MinEntropy, cert.MinEntropy)
+			}
+		})
+	}
+}
+
+// TestCertificateRejectsUnprotectedGraph feeds the checker a published
+// graph that plainly violates the guarantee: a certain star whose hub has
+// a unique degree, so its posterior entropy is 0.
+func TestCertificateRejectsUnprotectedGraph(t *testing.T) {
+	const n = 10
+	star := uncertain.New(n)
+	for v := 1; v < n; v++ {
+		star.MustAddEdge(0, uncertain.NodeID(v), 1)
+	}
+	cert, err := testkit.CheckCertificate(star, star, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Valid {
+		t.Fatal("a certain star must not certify at eps=0: the hub's degree is unique")
+	}
+	if cert.NonObfuscated < 1 {
+		t.Fatalf("NonObfuscated = %d, want at least the hub", cert.NonObfuscated)
+	}
+	if cert.MinEntropy != 0 {
+		t.Errorf("MinEntropy = %v, want 0 (hub posterior is a point mass)", cert.MinEntropy)
+	}
+}
+
+// TestCertificateInputValidation covers the error paths.
+func TestCertificateInputValidation(t *testing.T) {
+	g := uncertain.New(5)
+	g.MustAddEdge(0, 1, 0.5)
+	h := uncertain.New(6)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"size mismatch", func() error { _, err := testkit.CheckCertificate(g, h, 2, 0.1); return err }},
+		{"k too small", func() error { _, err := testkit.CheckCertificate(g, g, 0, 0.1); return err }},
+		{"k too large", func() error { _, err := testkit.CheckCertificate(g, g, 6, 0.1); return err }},
+		{"eps negative", func() error { _, err := testkit.CheckCertificate(g, g, 2, -0.1); return err }},
+		{"eps above one", func() error { _, err := testkit.CheckCertificate(g, g, 2, 1.5); return err }},
+		{"empty graph", func() error {
+			e := uncertain.New(0)
+			_, err := testkit.CheckCertificate(e, e, 1, 0.1)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if err := c.run(); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+// TestCertificateMatchesProductionOnCorpus compares the two checkers on
+// every corpus graph published "as itself" across several k — a broad,
+// cheap agreement sweep with no anonymization in the loop.
+func TestCertificateMatchesProductionOnCorpus(t *testing.T) {
+	for _, cg := range testkit.Corpus() {
+		for _, k := range []int{1, 2, 3} {
+			if k > cg.G.NumNodes() {
+				continue
+			}
+			cert, err := testkit.CheckCertificate(cg.G, cg.G, k, 1)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", cg.Name, k, err)
+			}
+			rep, err := privacy.CheckObfuscation(cg.G, privacy.DegreeProperty(cg.G), k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", cg.Name, k, err)
+			}
+			if rep.NonObfuscated < cert.NonObfuscated ||
+				rep.NonObfuscated > cert.NonObfuscated+cert.Boundary {
+				t.Errorf("%s k=%d: production %d vs certificate %d (+%d boundary)",
+					cg.Name, k, rep.NonObfuscated, cert.NonObfuscated, cert.Boundary)
+			}
+			if got := fmt.Sprintf("%.6f", cert.EpsilonTilde); cert.NonObfuscated == 0 && got != "0.000000" {
+				t.Errorf("%s k=%d: eps~ %s with zero non-obfuscated vertices", cg.Name, k, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package testkit
+
+import (
+	"testing"
+
+	"chameleon/internal/reliability"
+)
+
+// TestDifferentialOracle is the core cross-check of the three reliability
+// engines: for every corpus graph, exact enumeration vs the production
+// bitset Monte Carlo engine vs the independent naive BFS estimator, on
+// pair reliability, connected pairs, Delta-discrepancy and ERR. All
+// tolerances are Z standard errors derived from the exact per-world
+// moments (see tolerance.go); a failure means an engine is biased, not
+// that a seed was unlucky.
+func TestDifferentialOracle(t *testing.T) {
+	const (
+		samples = 4000
+		seed    = 0x5eedc0de
+	)
+	for _, cg := range Corpus() {
+		cg := cg
+		t.Run(cg.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, err := range DifferentialOracle(cg, samples, seed) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestExactMomentsSelfConsistency validates the oracle itself on graphs
+// with hand-computable answers, so a bug in ExactMoments cannot silently
+// loosen every differential tolerance.
+func TestExactMomentsSelfConsistency(t *testing.T) {
+	corpus := Corpus()
+	byName := map[string]CorpusGraph{}
+	for _, cg := range corpus {
+		byName[cg.Name] = cg
+	}
+
+	// path4: R(0,1)=0.5, R(0,2)=0.45, R(0,3)=0.135 and
+	// E[cc] = sum of pair reliabilities.
+	mo, err := ExactMoments(byName["path4"].G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"R(0,1)", mo.PairR[0][1], 0.5},
+		{"R(0,2)", mo.PairR[0][2], 0.5 * 0.9},
+		{"R(0,3)", mo.PairR[0][3], 0.5 * 0.9 * 0.3},
+		{"R(1,3)", mo.PairR[1][3], 0.9 * 0.3},
+		{"E[cc]", mo.CCMean, 0.5 + 0.45 + 0.135 + 0.9 + 0.27 + 0.3},
+		// ERR of a path edge: connecting edge 1 joins the {0?,1} side with
+		// the {2,3?} side. With e1 forced present vs absent the difference
+		// in connected pairs is (1+p0)*(1+p2): 1*1 + 1*p2 + p0*1 + p0*p2.
+		{"ERR[1]", mo.ERR[1], (1 + 0.5) * (1 + 0.3)},
+	}
+	for _, c := range checks {
+		if err := CheckClose("path4 "+c.name, c.got, c.want, 1e-12); err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Variance sanity: per-world cc of path4 is bounded by C(4,2)=6, so
+	// CCVar <= 9 (half-range squared); and conditional means must bracket
+	// the unconditional mean.
+	if mo.CCVar <= 0 || mo.CCVar > 9 {
+		t.Errorf("path4 CCVar = %v, want in (0, 9]", mo.CCVar)
+	}
+	for i := 0; i < 3; i++ {
+		if mo.CondMean[1][i] < mo.CCMean || mo.CondMean[0][i] > mo.CCMean {
+			t.Errorf("path4 edge %d conditional means %v/%v do not bracket %v",
+				i, mo.CondMean[0][i], mo.CondMean[1][i], mo.CCMean)
+		}
+	}
+
+	// certain: pinned edges must produce degenerate marginals.
+	mo, err = ExactMoments(byName["certain"].G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo.PairR[0][1] != 1 {
+		t.Errorf("certain R(0,1) = %v, want 1 (p=1 edge)", mo.PairR[0][1])
+	}
+	// Vertices 2,3 are joined only by a p=0 edge and a 0.5 edge via 4..0..2.
+	if got := mo.PairR[2][3]; got != 0.5 {
+		t.Errorf("certain R(2,3) = %v, want 0.5", got)
+	}
+}
+
+// TestDifferentialOracleCatchesBias proves the oracle has teeth: an
+// estimator with a deliberately skewed world stream must be rejected.
+func TestDifferentialOracleCatchesBias(t *testing.T) {
+	cg := Corpus()[0] // path4
+	mo, err := ExactMoments(cg.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 4000
+	// Bias: shift every probability up by 0.08 before sampling. A correct
+	// oracle must flag E[cc] as out of tolerance.
+	biased := cg.G.Clone()
+	for i := 0; i < biased.NumEdges(); i++ {
+		if err := biased.SetProb(i, biased.Edge(i).P+0.08); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := reliability.Estimator{Samples: samples, Seed: 7}
+	got := est.ExpectedConnectedPairs(biased)
+	if err := CheckClose("biased E[cc]", got, mo.CCMean, MeanTol(mo.CCVar, samples)); err == nil {
+		t.Fatalf("oracle failed to reject a +0.08 probability bias (got %v, want %v)",
+			got, mo.CCMean)
+	}
+}
+
+// TestPerturbedSiblingDiffers guards the discrepancy oracle against a
+// degenerate sibling (Delta = 0 would make the check vacuous).
+func TestPerturbedSiblingDiffers(t *testing.T) {
+	for _, cg := range Corpus() {
+		h := PerturbedSibling(cg.G)
+		same := true
+		for i := 0; i < cg.G.NumEdges(); i++ {
+			if cg.G.Edge(i).P != h.Edge(i).P {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: perturbed sibling has identical probabilities", cg.Name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package testkit
+
+import (
+	"fmt"
+
+	"chameleon/internal/exact"
+	"chameleon/internal/reliability"
+	"chameleon/internal/truncnorm"
+	"chameleon/internal/uncertain"
+)
+
+// CheckAll runs the metamorphic invariance pass over the corpus:
+// properties that must hold for ANY correct implementation, whatever the
+// inputs, and that therefore catch whole classes of bugs no point oracle
+// can:
+//
+//   - vertex-relabel invariance — renaming vertices (edge order kept)
+//     must leave every committed estimate bit-identical, since the world
+//     stream depends only on edge order and connectivity statistics are
+//     label-free;
+//   - Delta monotonicity in sigma — pushing every probability toward 1/2
+//     by the expected ME-style noise magnitude E[R(sigma)] (a shift of
+//     (1-2p)*E[R(sigma)]) moves the graph strictly farther in exact
+//     discrepancy as sigma grows, and the estimator must preserve that
+//     ordering as well as track each exact value;
+//   - seed and worker-count independence — the committed estimate is a
+//     pure function of (graph, samples, seed): changing Workers must not
+//     change a single bit, and changing the seed must stay within the
+//     exact-variance tolerance.
+//
+// It returns one error per violated invariant; empty means the pass held.
+func CheckAll(samples int, seed uint64) []error {
+	var errs []error
+	for _, cg := range Corpus() {
+		errs = append(errs, checkRelabelInvariance(cg, samples, seed)...)
+		errs = append(errs, checkWorkerSeedIndependence(cg, samples, seed)...)
+	}
+	errs = append(errs, checkSigmaMonotonicity(samples, seed)...)
+	return errs
+}
+
+// Relabel returns g with vertex v renamed to perm[v], edges added in the
+// original order so the sampling stream is unchanged.
+func Relabel(g *uncertain.Graph, perm []uncertain.NodeID) *uncertain.Graph {
+	h := uncertain.New(g.NumNodes())
+	for _, e := range g.Edges() {
+		h.MustAddEdge(perm[e.U], perm[e.V], e.P)
+	}
+	return h
+}
+
+// reversePerm maps v -> n-1-v: a fixed, structure-free relabeling.
+func reversePerm(n int) []uncertain.NodeID {
+	perm := make([]uncertain.NodeID, n)
+	for v := range perm {
+		perm[v] = uncertain.NodeID(n - 1 - v)
+	}
+	return perm
+}
+
+func checkRelabelInvariance(cg CorpusGraph, samples int, seed uint64) []error {
+	var errs []error
+	g := cg.G
+	perm := reversePerm(g.NumNodes())
+	rg := Relabel(g, perm)
+	est := reliability.Estimator{Samples: samples, Seed: seed}
+
+	if a, b := est.ExpectedConnectedPairs(g), est.ExpectedConnectedPairs(rg); a != b {
+		errs = append(errs, fmt.Errorf("%s: relabel changed E[cc]: %v vs %v", cg.Name, a, b))
+	}
+	u, v := uncertain.NodeID(0), uncertain.NodeID(g.NumNodes()-1)
+	if a, b := est.PairReliability(g, u, v), est.PairReliability(rg, perm[u], perm[v]); a != b {
+		errs = append(errs, fmt.Errorf("%s: relabel changed R(%d,%d): %v vs %v", cg.Name, u, v, a, b))
+	}
+	ga, gb := est.EdgeRelevance(g), est.EdgeRelevance(rg)
+	for i := range ga {
+		if ga[i] != gb[i] {
+			errs = append(errs, fmt.Errorf("%s: relabel changed ERR[%d]: %v vs %v", cg.Name, i, ga[i], gb[i]))
+		}
+	}
+	h := PerturbedSibling(g)
+	rh := Relabel(h, perm)
+	// Delta sums per-pair terms in pair order, which a relabeling
+	// permutes; the estimates are the same multiset of terms, so only
+	// summation-order float noise may differ.
+	da, errA := est.Discrepancy(g, h)
+	db, errB := est.Discrepancy(rg, rh)
+	if errA != nil || errB != nil {
+		errs = append(errs, fmt.Errorf("%s: discrepancy errors: %v / %v", cg.Name, errA, errB))
+	} else if err := CheckClose(cg.Name+": relabeled Delta", db, da, 1e-9); err != nil {
+		errs = append(errs, err)
+	}
+	return errs
+}
+
+func checkWorkerSeedIndependence(cg CorpusGraph, samples int, seed uint64) []error {
+	var errs []error
+	g := cg.G
+	mo, err := ExactMoments(g)
+	if err != nil {
+		return []error{fmt.Errorf("%s: exact moments: %w", cg.Name, err)}
+	}
+	serial := reliability.Estimator{Samples: samples, Seed: seed, Workers: 1}
+	wide := reliability.Estimator{Samples: samples, Seed: seed, Workers: 4}
+	if a, b := serial.ExpectedConnectedPairs(g), wide.ExpectedConnectedPairs(g); a != b {
+		errs = append(errs, fmt.Errorf("%s: worker count changed E[cc]: %v (1 worker) vs %v (4)", cg.Name, a, b))
+	}
+	ra, rb := serial.EdgeRelevance(g), wide.EdgeRelevance(g)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			errs = append(errs, fmt.Errorf("%s: worker count changed ERR[%d]: %v vs %v", cg.Name, i, ra[i], rb[i]))
+		}
+	}
+	// A different seed is a different (valid) estimate: both must sit
+	// within the exact-variance tolerance of the truth.
+	other := reliability.Estimator{Samples: samples, Seed: seed + 0x9e37}
+	tol := MeanTol(mo.CCVar, samples)
+	for _, e := range []struct {
+		name string
+		est  reliability.Estimator
+	}{{"seed A", serial}, {"seed B", other}} {
+		if err := CheckClose(cg.Name+" E[cc] "+e.name, e.est.ExpectedConnectedPairs(g), mo.CCMean, tol); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// checkSigmaMonotonicity builds ME-style deterministic perturbations of a
+// corpus graph at increasing noise levels and checks that (a) the exact
+// discrepancy strictly increases with sigma and (b) the estimator tracks
+// each exact value within its derived tolerance — so estimated
+// discrepancies preserve the sigma ordering whenever the exact gaps
+// exceed the combined tolerances (which the chosen sigmas guarantee).
+func checkSigmaMonotonicity(samples int, seed uint64) []error {
+	var errs []error
+	sigmas := []float64{0.05, 0.3, 0.8}
+	for _, cg := range Corpus() {
+		if !cg.InteriorProbs {
+			continue
+		}
+		g := cg.G
+		est := reliability.Estimator{Samples: samples, Seed: seed}
+		rg, err := exact.AllPairReliability(g)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", cg.Name, err))
+			continue
+		}
+		prevExact := -1.0
+		for _, sigma := range sigmas {
+			shift := truncnorm.Mean(sigma)
+			h := g.Clone()
+			for i := 0; i < h.NumEdges(); i++ {
+				p := h.Edge(i).P
+				if err := h.SetProb(i, p+(1-2*p)*shift); err != nil {
+					errs = append(errs, fmt.Errorf("%s sigma=%v: %w", cg.Name, sigma, err))
+				}
+			}
+			want, err := exact.Discrepancy(g, h)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s sigma=%v: %w", cg.Name, sigma, err))
+				continue
+			}
+			if want <= prevExact {
+				errs = append(errs, fmt.Errorf("%s: exact Delta not increasing in sigma: Delta(%v) = %v <= %v",
+					cg.Name, sigma, want, prevExact))
+			}
+			prevExact = want
+			rh, err := exact.AllPairReliability(h)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s sigma=%v: %w", cg.Name, sigma, err))
+				continue
+			}
+			got, err := est.Discrepancy(g, h)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s sigma=%v: %w", cg.Name, sigma, err))
+				continue
+			}
+			if err := CheckClose(fmt.Sprintf("%s Delta(sigma=%v)", cg.Name, sigma),
+				got, want, DiscrepancyTol(rg, rh, samples)); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,38 @@
+package testkit
+
+import "testing"
+
+// TestCheckAll runs the metamorphic invariance pass: vertex-relabel
+// invariance, Delta monotonicity in sigma, and seed/worker-count
+// independence, across the whole corpus.
+func TestCheckAll(t *testing.T) {
+	for _, err := range CheckAll(3000, 0xbead5) {
+		t.Error(err)
+	}
+}
+
+// TestRelabelPreservesStructure sanity-checks the Relabel helper the
+// metamorphic pass builds on.
+func TestRelabelPreservesStructure(t *testing.T) {
+	for _, cg := range Corpus() {
+		g := cg.G
+		perm := reversePerm(g.NumNodes())
+		h := Relabel(g, perm)
+		if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: relabel changed size", cg.Name)
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			e, f := g.Edge(i), h.Edge(i)
+			if f.P != e.P {
+				t.Errorf("%s edge %d: probability changed %v -> %v", cg.Name, i, e.P, f.P)
+			}
+			pu, pv := perm[e.U], perm[e.V]
+			if pu > pv {
+				pu, pv = pv, pu
+			}
+			if f.U != pu || f.V != pv {
+				t.Errorf("%s edge %d: endpoints (%d,%d), want (%d,%d)", cg.Name, i, f.U, f.V, pu, pv)
+			}
+		}
+	}
+}

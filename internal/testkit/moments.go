@@ -1,0 +1,142 @@
+package testkit
+
+import (
+	"chameleon/internal/exact"
+	"chameleon/internal/uncertain"
+	"chameleon/internal/unionfind"
+)
+
+// Moments holds the exact possible-world moments of a corpus graph: not
+// just the expectations the estimators target but the variances of the
+// per-world statistics, from which every differential tolerance in this
+// package is derived. A Monte Carlo estimate over N worlds of a statistic
+// with per-world variance V has standard error sqrt(V/N); the oracle
+// asserts |estimate - truth| <= Z * stderr, so the tolerance tracks the
+// sampling design instead of being a magic constant.
+type Moments struct {
+	// PairR[u][v] is the exact two-terminal reliability (Definition 1).
+	PairR [][]float64
+	// CCMean and CCVar are the mean and variance of the per-world
+	// connected-pair count cc(W).
+	CCMean, CCVar float64
+	// CondMean[s][e] and CondVar[s][e] are the mean and variance of cc(W)
+	// conditional on edge e being absent (s=0) or present (s=1); they
+	// bound the error of the grouped ERR estimator (Algorithm 2).
+	CondMean, CondVar [2][]float64
+	// ERR[e] is the exact edge reliability relevance (Definition 5):
+	// E[cc | e present] - E[cc | e absent].
+	ERR []float64
+	// CoupledVar[e] is the variance of the per-world coupled difference
+	// cc(W with e forced present) - cc(W with e forced absent), the
+	// statistic NaiveEstimator.EdgeRelevance averages. Its mean is ERR[e]
+	// (forcing e does not disturb the other edges' distribution).
+	CoupledVar []float64
+}
+
+// ExactMoments enumerates every possible world of g and accumulates the
+// moments above. Cost is O(2^m * (m + alpha(n))); the corpus keeps m <= 12.
+func ExactMoments(g *uncertain.Graph) (*Moments, error) {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	mo := &Moments{}
+	for s := 0; s < 2; s++ {
+		mo.CondMean[s] = make([]float64, m)
+		mo.CondVar[s] = make([]float64, m)
+	}
+	// Conditional accumulators: probability mass, sum cc, sum cc^2 per
+	// (edge, presence).
+	var mass, sum, sq [2][]float64
+	for s := 0; s < 2; s++ {
+		mass[s] = make([]float64, m)
+		sum[s] = make([]float64, m)
+		sq[s] = make([]float64, m)
+	}
+	coupledSq := make([]float64, m)
+	coupledMean := make([]float64, m)
+	var ccMean, ccSq float64
+	d := unionfind.New(n)
+	ccOf := func(mask []bool, flip int) float64 {
+		d.Reset()
+		for i, present := range mask {
+			if i == flip {
+				present = !present
+			}
+			if present {
+				e := g.Edge(i)
+				d.Union(int(e.U), int(e.V))
+			}
+		}
+		return float64(d.ConnectedPairs())
+	}
+	err := exact.ForEachWorld(g, func(mask []bool, pr float64) {
+		cc := ccOf(mask, -1)
+		ccMean += pr * cc
+		ccSq += pr * cc * cc
+		for i, present := range mask {
+			s := 0
+			if present {
+				s = 1
+			}
+			mass[s][i] += pr
+			sum[s][i] += pr * cc
+			sq[s][i] += pr * cc * cc
+			// Coupled difference: one of the two forced worlds is the
+			// current world, the other differs in edge i only.
+			diff := cc - ccOf(mask, i)
+			if !present {
+				diff = -diff
+			}
+			coupledMean[i] += pr * diff
+			coupledSq[i] += pr * diff * diff
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	mo.CCMean = ccMean
+	mo.CCVar = clampVar(ccSq - ccMean*ccMean)
+	mo.ERR = make([]float64, m)
+	mo.CoupledVar = make([]float64, m)
+	for i := 0; i < m; i++ {
+		mo.CoupledVar[i] = clampVar(coupledSq[i] - coupledMean[i]*coupledMean[i])
+		for s := 0; s < 2; s++ {
+			if mass[s][i] > 0 {
+				mean := sum[s][i] / mass[s][i]
+				mo.CondMean[s][i] = mean
+				mo.CondVar[s][i] = clampVar(sq[s][i]/mass[s][i] - mean*mean)
+			}
+		}
+		// For edges pinned at probability 0 or 1 one side has no mass;
+		// fall back to the exact unconditional-with-forced-bit values, the
+		// quantity the production estimator's conditional path estimates.
+		for s := 0; s < 2; s++ {
+			if mass[s][i] == 0 {
+				forced := g.Clone()
+				if err := forced.SetProb(i, float64(s)); err != nil {
+					return nil, err
+				}
+				cc, err := exact.ExpectedConnectedPairs(forced)
+				if err != nil {
+					return nil, err
+				}
+				mo.CondMean[s][i] = cc
+				mo.CondVar[s][i] = 0 // not used for tolerance on this side
+			}
+		}
+		mo.ERR[i] = mo.CondMean[1][i] - mo.CondMean[0][i]
+	}
+	mo.PairR, err = exact.AllPairReliability(g)
+	if err != nil {
+		return nil, err
+	}
+	return mo, nil
+}
+
+// clampVar guards exact-arithmetic variance computations against tiny
+// negative values from floating-point cancellation.
+func clampVar(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

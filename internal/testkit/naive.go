@@ -1,0 +1,195 @@
+package testkit
+
+import (
+	"math/rand/v2"
+
+	"chameleon/internal/uncertain"
+)
+
+// NaiveEstimator is a deliberately simple Monte Carlo reliability
+// estimator that shares no code with the production engine: worlds are
+// drawn with one rand.Float64 comparison per edge, connectivity is
+// labeled by breadth-first search over freshly built adjacency lists, and
+// nothing is pooled, packed or cached. It is slow on purpose — its only
+// job is to disagree with internal/reliability if either implementation
+// is wrong, which a shared kernel could never do.
+//
+// The estimator draws from its own PCG stream (seeded per sample index),
+// so its estimates are statistically independent of the bitset engine's:
+// the differential oracle compares both against exact values, not against
+// each other's sampling noise.
+type NaiveEstimator struct {
+	// Samples is the number of worlds drawn (N); must be positive.
+	Samples int
+	// Seed fixes the world stream.
+	Seed uint64
+}
+
+// sampleMask draws one possible world as a per-edge presence mask.
+func (e NaiveEstimator) sampleMask(g *uncertain.Graph, i int, mask []bool) []bool {
+	rng := rand.New(rand.NewPCG(e.Seed^0xa5a5a5a5a5a5a5a5, uint64(i)+1))
+	mask = mask[:0]
+	for j := 0; j < g.NumEdges(); j++ {
+		mask = append(mask, rng.Float64() < g.Edge(j).P)
+	}
+	return mask
+}
+
+// labels breadth-first-searches the masked world and returns a component
+// label per vertex (the smallest vertex id in the component).
+func labels(g *uncertain.Graph, mask []bool, adj [][]int32, lab []int32) []int32 {
+	n := g.NumNodes()
+	for v := range adj {
+		adj[v] = adj[v][:0]
+	}
+	for j, present := range mask {
+		if present {
+			e := g.Edge(j)
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+	}
+	lab = lab[:0]
+	for v := 0; v < n; v++ {
+		lab = append(lab, -1)
+	}
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if lab[v] >= 0 {
+			continue
+		}
+		root := int32(v)
+		lab[v] = root
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if lab[w] < 0 {
+					lab[w] = root
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return lab
+}
+
+// sampleLabels draws N worlds and labels each one; rows[i][v] is vertex
+// v's component label in world i.
+func (e NaiveEstimator) sampleLabels(g *uncertain.Graph) [][]int32 {
+	n := g.NumNodes()
+	rows := make([][]int32, e.Samples)
+	adj := make([][]int32, n)
+	var mask []bool
+	for i := 0; i < e.Samples; i++ {
+		mask = e.sampleMask(g, i, mask)
+		rows[i] = labels(g, mask, adj, nil)
+	}
+	return rows
+}
+
+// PairReliability estimates R_{u,v}(g) (Definition 1).
+func (e NaiveEstimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) float64 {
+	hits := 0
+	adj := make([][]int32, g.NumNodes())
+	var mask []bool
+	var lab []int32
+	for i := 0; i < e.Samples; i++ {
+		mask = e.sampleMask(g, i, mask)
+		lab = labels(g, mask, adj, lab)
+		if lab[u] == lab[v] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(e.Samples)
+}
+
+// ExpectedConnectedPairs estimates E[cc(g)]: the expected number of
+// connected unordered vertex pairs.
+func (e NaiveEstimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
+	var total float64
+	adj := make([][]int32, g.NumNodes())
+	var mask []bool
+	var lab []int32
+	for i := 0; i < e.Samples; i++ {
+		mask = e.sampleMask(g, i, mask)
+		lab = labels(g, mask, adj, lab)
+		total += float64(connectedPairs(lab))
+	}
+	return total / float64(e.Samples)
+}
+
+// connectedPairs counts connected unordered pairs from a label vector.
+func connectedPairs(lab []int32) int64 {
+	sizes := map[int32]int64{}
+	for _, l := range lab {
+		sizes[l]++
+	}
+	var cc int64
+	for _, s := range sizes {
+		cc += s * (s - 1) / 2
+	}
+	return cc
+}
+
+// Discrepancy estimates the reliability discrepancy Delta (Definition 2)
+// over all vertex pairs, with g and h sampled independently.
+func (e NaiveEstimator) Discrepancy(g, h *uncertain.Graph) float64 {
+	lg := e.sampleLabels(g)
+	lh := e.sampleLabels(h)
+	n := g.NumNodes()
+	inv := 1 / float64(e.Samples)
+	var delta float64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			var cg, ch int
+			for i := 0; i < e.Samples; i++ {
+				if lg[i][u] == lg[i][v] {
+					cg++
+				}
+				if lh[i][u] == lh[i][v] {
+					ch++
+				}
+			}
+			d := float64(cg-ch) * inv
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+	}
+	return delta
+}
+
+// EdgeRelevance estimates ERR^e for every edge by per-world forcing: in
+// each sampled world the edge is toggled present and absent and the
+// connected-pair difference averaged. This is an unbiased coupling
+// estimator for E[cc | e present] - E[cc | e absent]; its per-world
+// values lie in [0, n-1]^2 but in practice have far lower variance than
+// the grouped estimator, since both terms share the rest of the world.
+func (e NaiveEstimator) EdgeRelevance(g *uncertain.Graph) []float64 {
+	m := g.NumEdges()
+	out := make([]float64, m)
+	adj := make([][]int32, g.NumNodes())
+	var mask []bool
+	var lab []int32
+	for i := 0; i < e.Samples; i++ {
+		mask = e.sampleMask(g, i, mask)
+		for j := 0; j < m; j++ {
+			orig := mask[j]
+			mask[j] = true
+			lab = labels(g, mask, adj, lab)
+			ccE := connectedPairs(lab)
+			mask[j] = false
+			lab = labels(g, mask, adj, lab)
+			ccNE := connectedPairs(lab)
+			mask[j] = orig
+			out[j] += float64(ccE - ccNE)
+		}
+	}
+	for j := range out {
+		out[j] /= float64(e.Samples)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Statistical assertions: goodness-of-fit tests with honest p-values for
+// samplers whose contract is a distribution, not a number. Every test
+// site goes through RetryGOF, which applies the package's fixed-seed
+// retry policy:
+//
+//   - significance Alpha = 1e-4 per attempt;
+//   - two attempts with independent pinned seeds, failing only when BOTH
+//     reject.
+//
+// For a correct sampler the two attempts reject independently, so the
+// per-site false-failure probability is Alpha^2 = 1e-8; across the few
+// dozen GOF sites in the suite the aggregate expected false-failure rate
+// stays below 1e-6, while a genuinely wrong distribution rejects both
+// attempts with probability ~1. The seeds are pinned, so a given build
+// either passes forever or fails forever — the budget is the probability
+// the pinned seeds were unlucky when they were chosen.
+
+// Alpha is the per-attempt significance level of the GOF assertions.
+const Alpha = 1e-4
+
+// gofSeeds are the two pinned seeds of the retry policy.
+var gofSeeds = [2]uint64{0x1f0e1d2c3b4a5968, 0xc4f3a2b1d0e9f887}
+
+// RetryGOF evaluates a goodness-of-fit p-value under each pinned seed and
+// returns an error only if every attempt rejects at Alpha. A NaN p-value
+// fails immediately — that is a broken test statistic, not bad luck.
+func RetryGOF(name string, pAt func(seed uint64) float64) error {
+	var ps []float64
+	for _, seed := range gofSeeds {
+		p := pAt(seed)
+		if math.IsNaN(p) {
+			return fmt.Errorf("%s: p-value is NaN", name)
+		}
+		if p >= Alpha {
+			return nil
+		}
+		ps = append(ps, p)
+	}
+	return fmt.Errorf("%s: rejected under both seeds (p = %v, alpha = %v)",
+		name, ps, Alpha)
+}
+
+// ChiSquare computes Pearson's statistic and its upper-tail p-value for
+// observed counts against expected counts (same length, expected > 0).
+// Degrees of freedom default to len(obs)-1; pass ddof > 0 to subtract
+// additional fitted parameters. The caller is responsible for binning so
+// that expected counts are large enough for the chi-square approximation
+// (the usual rule: at least ~5, the suite keeps them >= 25).
+func ChiSquare(obs, expected []float64, ddof int) (stat, p float64, err error) {
+	if len(obs) != len(expected) {
+		return 0, 0, fmt.Errorf("chi-square: %d observed vs %d expected cells",
+			len(obs), len(expected))
+	}
+	df := len(obs) - 1 - ddof
+	if df < 1 {
+		return 0, 0, fmt.Errorf("chi-square: %d cells leave no degrees of freedom", len(obs))
+	}
+	for i := range obs {
+		if expected[i] <= 0 {
+			return 0, 0, fmt.Errorf("chi-square: expected[%d] = %v <= 0", i, expected[i])
+		}
+		d := obs[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat, gammaIncQ(float64(df)/2, stat/2), nil
+}
+
+// ChiSquareTail returns the upper-tail probability P(X > stat) for a
+// chi-square variable with df degrees of freedom. Use it when the
+// statistic is assembled by hand (e.g. a sum of per-edge z^2 terms)
+// rather than from count cells.
+func ChiSquareTail(stat float64, df int) float64 {
+	return gammaIncQ(float64(df)/2, stat/2)
+}
+
+// KolmogorovSmirnov computes the one-sample KS statistic of samples
+// against a continuous CDF and its asymptotic p-value (with the Stephens
+// small-sample correction). samples is sorted in place.
+func KolmogorovSmirnov(samples []float64, cdf func(float64) float64) (d, p float64) {
+	sort.Float64s(samples)
+	n := float64(len(samples))
+	for i, x := range samples {
+		f := cdf(x)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d, ksPValue(d, len(samples))
+}
+
+// ksPValue returns the asymptotic Kolmogorov upper-tail probability
+// P(D_n > d), using the Stephens correction lambda = d*(sqrt(n) + 0.12 +
+// 0.11/sqrt(n)) and the alternating series 2*sum (-1)^{k-1} e^{-2k^2
+// lambda^2}.
+func ksPValue(d float64, n int) float64 {
+	if d <= 0 {
+		return 1
+	}
+	sq := math.Sqrt(float64(n))
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 101; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*(math.Abs(sum)+1e-300) {
+			break
+		}
+		sign = -sign
+	}
+	return math.Max(0, math.Min(1, 2*sum))
+}
+
+// gammaIncQ is the regularized upper incomplete gamma function Q(a, x),
+// the chi-square upper-tail probability for a = df/2, x = stat/2.
+// Series expansion for x < a+1, continued fraction otherwise (the
+// classic normalized-gamma split; both converge fast in their regime).
+func gammaIncQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeriesP(a, x)
+	default:
+		return gammaContFracQ(a, x)
+	}
+}
+
+// gammaSeriesP computes P(a, x) by the power series
+// P(a,x) = x^a e^-x / Gamma(a) * sum_n x^n / (a(a+1)...(a+n)).
+func gammaSeriesP(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContFracQ computes Q(a, x) by the Lentz continued fraction.
+func gammaContFracQ(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// RareCountMax returns the smallest cutoff c such that a Binomial(n, p)
+// count exceeds c with probability below 1e-9, via the Chernoff bound
+// P(X >= c) <= e^{-lam} (e*lam/c)^c with lam = n*p (valid for binomials
+// since their MGF is dominated by the Poisson's). It lets the marginal
+// tests pin down edges whose expected count is too small for a
+// chi-square cell: the observed count must simply not exceed the cutoff.
+func RareCountMax(p float64, n int) int {
+	lam := float64(n) * p
+	if lam == 0 {
+		return 0 // impossible event: any hit at all is a bug
+	}
+	for c := 1; ; c++ {
+		logTail := -lam + float64(c)*(1+math.Log(lam)-math.Log(float64(c)))
+		if logTail < math.Log(1e-9) {
+			return c
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Z is the z-score the differential oracles allow between a Monte Carlo
+// estimate and its exact value: |estimate - truth| <= Z * stderr. The
+// two-sided normal tail beyond 6.5 sigma is ~8e-11, so even a few
+// thousand assertions across the corpus keep the aggregate false-failure
+// probability of the suite under 1e-6. The assertions are deterministic
+// under the pinned seeds — this budget is the probability that the pinned
+// seeds were unlucky in the first place.
+const Z = 6.5
+
+// tolFloor absorbs floating-point accumulation differences between
+// estimators when the statistical tolerance itself is ~0 (certain
+// events, pinned edges): pure summation-order noise, not sampling error.
+const tolFloor = 1e-9
+
+// BernoulliTol returns the oracle tolerance for an N-sample Monte Carlo
+// estimate of an indicator probability p: Z standard errors of the
+// binomial proportion, floored against exact-arithmetic noise.
+func BernoulliTol(p float64, n int) float64 {
+	return Z*math.Sqrt(p*(1-p)/float64(n)) + tolFloor
+}
+
+// MeanTol returns the oracle tolerance for an N-sample mean of a
+// per-world statistic with exact variance v.
+func MeanTol(v float64, n int) float64 {
+	return Z*math.Sqrt(v/float64(n)) + tolFloor
+}
+
+// DiscrepancyTol bounds the error of an N-sample discrepancy estimate
+// against the exact Delta, from the exact pair reliabilities of the two
+// graphs. Delta-hat sums |p-hat_g - p-hat_h| over pairs; each pair's
+// estimate error is a centered difference of two independent binomial
+// proportions with standard deviation s_p = sqrt((pg(1-pg)+ph(1-ph))/N).
+// Taking absolute values folds that noise, which biases each term upward
+// by at most E|noise| = s_p*sqrt(2/pi); the remaining spread across pairs
+// is bounded by sum(s_p) (Cauchy–Schwarz, since pairs share worlds and
+// may be fully correlated). The tolerance is therefore
+//
+//	sum_p s_p * (sqrt(2/pi) + Z)
+//
+// — loose for many independent pairs, tight enough on the small corpus
+// to catch real estimator bugs, and derived entirely from the sampling
+// design.
+func DiscrepancyTol(rg, rh [][]float64, n int) float64 {
+	var sdSum float64
+	nv := len(rg)
+	for u := 0; u < nv; u++ {
+		for v := u + 1; v < nv; v++ {
+			pg, ph := rg[u][v], rh[u][v]
+			sdSum += math.Sqrt((pg*(1-pg) + ph*(1-ph)) / float64(n))
+		}
+	}
+	return sdSum*(math.Sqrt(2/math.Pi)+Z) + tolFloor
+}
+
+// GroupedERRTol bounds the error of the grouped (Algorithm 2) ERR
+// estimate for edge e with probability p over N worlds: the two
+// conditional means are estimated from the n_e worlds containing e and
+// the N-n_e without it, so
+//
+//	Var(ERR-hat) = Var(cc|e)/n_e + Var(cc|not e)/n_ne.
+//
+// The split sizes are themselves binomial; the tolerance uses a Z-sigma
+// lower bound on each side's count so the bound holds jointly. Returns
+// +Inf when either side can plausibly receive fewer than 8 worlds — the
+// caller should skip such edges (the corpus avoids them).
+func GroupedERRTol(mo *Moments, e int, p float64, n int) float64 {
+	nLo := func(q float64) float64 {
+		mean := float64(n) * q
+		return mean - Z*math.Sqrt(float64(n)*q*(1-q))
+	}
+	ne, nne := nLo(p), nLo(1-p)
+	if ne < 8 || nne < 8 {
+		return math.Inf(1)
+	}
+	return Z*math.Sqrt(mo.CondVar[1][e]/ne+mo.CondVar[0][e]/nne) + tolFloor
+}
+
+// CoupledERRTol bounds the error of the naive coupled ERR estimate for
+// edge e over N worlds: Z standard errors of the coupled per-world
+// difference.
+func CoupledERRTol(mo *Moments, e int, n int) float64 {
+	return MeanTol(mo.CoupledVar[e], n)
+}
+
+// CheckClose reports an error when got is farther than tol from want.
+// It is the single comparison primitive of the differential oracles, so
+// every failure message carries the tolerance provenance the caller
+// passes in via context.
+func CheckClose(context string, got, want, tol float64) error {
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		return fmt.Errorf("%s: got %v, want %v +/- %v (|diff| = %v)",
+			context, got, want, tol, math.Abs(got-want))
+	}
+	return nil
+}

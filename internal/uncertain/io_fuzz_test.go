@@ -1,0 +1,86 @@
+package uncertain
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGraphRoundTrip hardens both serialization formats from two sides:
+// arbitrary bytes fed to the binary reader must fail cleanly or yield an
+// internally consistent graph, and any graph constructed from the fuzzed
+// bytes must survive TSV and binary round trips unchanged — including a
+// cross-format trip (write TSV, read, write binary, read), since LoadFile
+// auto-detects the format and the two paths must agree on the graph.
+func FuzzGraphRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 128, 1, 2, 255, 0, 2, 0})
+	f.Add([]byte("GRGU\x01\x00\x00\x00"))
+	f.Add([]byte{0x47, 0x52, 0x47, 0x55, 1, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{7}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Side 1: the binary reader on raw fuzz input.
+		if g, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			checkConsistent(t, g)
+		}
+
+		// Side 2: build a graph from the bytes and round-trip it.
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%64 + 1
+		g := New(n)
+		for i := 1; i+2 < len(data); i += 3 {
+			u := NodeID(int(data[i]) % n)
+			v := NodeID(int(data[i+1]) % n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			// float64(byte)/255 is exact in both formats: the binary format
+			// stores raw bits and the TSV writer uses 'g', -1 (shortest
+			// round-trip) formatting.
+			g.MustAddEdge(u, v, float64(data[i+2])/255)
+		}
+
+		var tsv bytes.Buffer
+		if err := WriteTSV(&tsv, g); err != nil {
+			t.Fatalf("WriteTSV: %v", err)
+		}
+		fromTSV, err := ReadTSV(&tsv)
+		if err != nil {
+			t.Fatalf("ReadTSV after write: %v", err)
+		}
+		if !g.Equal(fromTSV) {
+			t.Fatal("TSV round trip changed the graph")
+		}
+
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, fromTSV); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		fromBin, err := ReadBinary(&bin)
+		if err != nil {
+			t.Fatalf("ReadBinary after write: %v", err)
+		}
+		if !g.Equal(fromBin) {
+			t.Fatal("TSV->binary round trip changed the graph")
+		}
+	})
+}
+
+// checkConsistent asserts the structural invariants every successfully
+// parsed graph must satisfy.
+func checkConsistent(t *testing.T, g *Graph) {
+	t.Helper()
+	if g.NumNodes() < 0 || g.NumEdges() < 0 {
+		t.Fatalf("negative sizes: nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if e.U >= e.V || e.P < 0 || e.P > 1 {
+			t.Fatalf("invalid edge %+v", e)
+		}
+		if int(e.V) >= g.NumNodes() {
+			t.Fatalf("edge %+v beyond node count %d", e, g.NumNodes())
+		}
+	}
+}

@@ -10,6 +10,10 @@
 #   SKIP_BENCH_GATE    set to 1 to skip the benchcmp regression gate
 #   BENCH_MAX_SLOWDOWN allowed ns/op growth percentage vs the committed
 #                      baseline (default 25)
+#   COVERAGE_FLOOR     minimum total statement coverage percentage
+#                      (default 78.4, the measured seed baseline)
+#   FUZZ_BUDGET        go test -fuzztime per fuzz target for the smoke
+#                      pass (default 5s; set to 0 to skip fuzzing)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +38,36 @@ echo "== go test -race -count=2 (telemetry, MC workers, CLI runner) =="
 # dedicated double-count race pass keeps them covered even if the main
 # pass is ever narrowed.
 go test -race -count=2 ./internal/obs/... ./internal/reliability/... ./cmd/internal/runner/...
+
+coverage_floor="${COVERAGE_FLOOR:-78.4}"
+echo "== coverage (floor ${coverage_floor}%) =="
+# One plain (non-race) pass doubles as the coverage measurement: the
+# per-package "coverage: X%" lines below are the summary, and the profile
+# feeds the total-coverage floor gate. -coverpkg=./... attributes cross-
+# package coverage (CLI tests exercising internal packages) correctly.
+covprofile=$(mktemp)
+go test -count=1 -coverprofile="$covprofile" -coverpkg=./... ./...
+total=$(go tool cover -func="$covprofile" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+rm -f "$covprofile"
+echo "total statement coverage: ${total}%"
+if ! awk -v t="$total" -v f="$coverage_floor" 'BEGIN { exit !(t+0 >= f+0) }'; then
+    echo "coverage gate: total ${total}% is below the floor ${coverage_floor}%" >&2
+    exit 1
+fi
+
+fuzz_budget="${FUZZ_BUDGET:-5s}"
+echo "== fuzz smoke (${fuzz_budget} per target) =="
+if [ "$fuzz_budget" = "0" ]; then
+    echo "FUZZ_BUDGET=0: fuzz smoke skipped"
+else
+    # Each target must run alone: go test accepts only one -fuzz match per
+    # invocation. The corpus seeds always run; the budget buys random
+    # exploration on top.
+    go test -run '^$' -fuzz '^FuzzBitsetMask$'         -fuzztime "$fuzz_budget" ./internal/uncertain/
+    go test -run '^$' -fuzz '^FuzzReadTSV$'            -fuzztime "$fuzz_budget" ./internal/uncertain/
+    go test -run '^$' -fuzz '^FuzzGraphRoundTrip$'     -fuzztime "$fuzz_budget" ./internal/uncertain/
+    go test -run '^$' -fuzz '^FuzzDegreeDistribution$' -fuzztime "$fuzz_budget" ./internal/privacy/
+fi
 
 # Both BENCH artifacts share one schema — {name, ns_per_op,
 # allocs_per_op, iterations} — so cmd/benchcmp can gate either file.
