@@ -216,9 +216,11 @@ func BenchmarkObsOverheadAnonymize(b *testing.B) {
 
 // BenchmarkObsOverheadServe measures the serve-mode tax on the sigma
 // search: a bare live observer against the same observer with the
-// exposition endpoint bound and its snapshot differ ticking fast in the
-// background. The ticker only snapshots the registry, so the two must
-// stay within ~2% of each other (TestObsOverheadGuard enforces it).
+// exposition endpoint bound, its snapshot differ (and runtime/metrics
+// sampler) ticking fast in the background, and /metrics plus /trace
+// scraped continuously. All of that work lives on the ticker goroutine
+// and in request handlers, so the two must stay within ~2% of each other
+// (TestObsOverheadGuard enforces it).
 func BenchmarkObsOverheadServe(b *testing.B) {
 	g := benchGraph(b)
 	run := func(b *testing.B, o *obs.Observer) {
@@ -232,10 +234,18 @@ func BenchmarkObsOverheadServe(b *testing.B) {
 	b.Run("on", func(b *testing.B) {
 		o := obs.NewObserver()
 		srv := expose.New(o, expose.Options{Interval: 50 * time.Millisecond})
-		if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
 			b.Fatal(err)
 		}
 		defer srv.Close()
+		stop := make(chan struct{})
+		scraped := make(chan struct{})
+		go func() {
+			defer close(scraped)
+			scrape(addr, stop)
+		}()
+		defer func() { close(stop); <-scraped }()
 		b.ResetTimer()
 		run(b, o)
 	})

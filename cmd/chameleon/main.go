@@ -17,10 +17,12 @@
 // Observability: -v logs structured progress to stderr; -stats FILE dumps
 // the final metrics registry and the full sigma-search trace as JSON
 // (-stats - writes the aligned-text form to stderr); -serve ADDR keeps a
-// live telemetry endpoint (/metrics, /healthz, /runs, /debug/pprof) up for
-// the duration of the run; -journal FILE appends a replayable JSONL run
-// journal; -cpuprofile, -memprofile and -trace enable the runtime
-// profilers.
+// live telemetry endpoint (/metrics, /healthz, /runs, /trace,
+// /debug/pprof) up for the duration of the run; -journal FILE appends a
+// replayable JSONL run journal; -traceout FILE exports the σ-search span
+// timeline as a Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing; -cpuprofile, -memprofile and -trace enable the
+// runtime profilers.
 package main
 
 import (
@@ -54,6 +56,7 @@ func main() {
 		trace     = flag.String("trace", "", "write a runtime execution trace to this file")
 		serveAt   = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the run")
 		jrnPath   = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
+		traceOut  = flag.String("traceout", "", "export the span timeline as Chrome trace-event JSON to this file on exit (open in Perfetto)")
 		deadline  = flag.Duration("deadline", 0, "bound the run's wall clock; on expiry the best-so-far graph is written (exit 0) or, with nothing found yet, the run fails (exit 124)")
 		ckptPath  = flag.String("checkpoint", "", "save the σ-search state to this file on interrupt (atomic write; enables -resume)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "additionally checkpoint every N genobf calls (requires -checkpoint)")
@@ -91,6 +94,13 @@ func main() {
 		})
 		if pErr := stopProfiles(); err == nil {
 			err = pErr
+		}
+		if *traceOut != "" {
+			// Exported on every exit path: an interrupted or failed search
+			// still leaves a timeline (running spans carry live durations).
+			if tErr := chameleon.ExportTrace(*traceOut, obs); err == nil {
+				err = tErr
+			}
 		}
 		return err
 	}))

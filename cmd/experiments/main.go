@@ -33,6 +33,7 @@ import (
 	"chameleon/cmd/internal/runner"
 	"chameleon/internal/exp"
 	"chameleon/internal/obs"
+	"chameleon/internal/obs/traceout"
 )
 
 func main() {
@@ -50,13 +51,14 @@ func main() {
 		trcPath  = flag.String("trace", "", "write a runtime execution trace to this file")
 		serveAt  = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address for the duration of the sweep")
 		jrnPath  = flag.String("journal", "", "append a JSONL run journal (begin, periodic snapshots, phase spans, final CI report) to this file")
+		traceOut = flag.String("traceout", "", "export the sweep's span timeline as Chrome trace-event JSON to this file on exit (open in Perfetto)")
 		deadline = flag.Duration("deadline", 0, "bound the run's wall clock; the sweep stops at the next cell boundary (exit 124)")
 		ckptPath = flag.String("checkpoint", "", "save completed sweep cells to this file (atomic writes); rerunning with the same flags resumes, recomputing only unfinished cells")
 	)
 	flag.Parse()
 
 	var observer *obs.Observer
-	if *stats != "" || *verbose || *serveAt != "" || *jrnPath != "" {
+	if *stats != "" || *verbose || *serveAt != "" || *jrnPath != "" || *traceOut != "" {
 		observer = obs.NewObserver()
 		if *verbose {
 			observer.Logger = obs.NewLogger(os.Stderr)
@@ -91,6 +93,13 @@ func main() {
 		err = run(env, cfg, *runSel, *csvPath, *stats, observer)
 		if pErr := stopProfiles(); err == nil {
 			err = pErr
+		}
+		if *traceOut != "" {
+			// Exported on every exit path: an interrupted sweep still
+			// leaves a timeline of the cells that ran.
+			if tErr := traceout.ExportObserver(*traceOut, observer); err == nil {
+				err = tErr
+			}
 		}
 		return err
 	}))

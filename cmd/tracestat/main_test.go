@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chameleon/cmd/internal/runner"
+	"chameleon/internal/obs"
+	"chameleon/internal/obs/traceout"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// golden runs the tool with args and compares its stdout against the
+// golden file, rewriting it under -update. The fixtures carry fixed
+// microsecond/nanosecond timings, so the phase table and critical path
+// are fully deterministic.
+func golden(t *testing.T, goldenFile string, args ...string) {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(&out, args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	path := filepath.Join("testdata", goldenFile)
+	if *update {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from %s (re-run with -update to regenerate):\n--- got ---\n%s--- want ---\n%s", path, out.String(), want)
+	}
+}
+
+// TestTraceGolden pins the Chrome-trace path: the containment stack must
+// rebuild the anonymize tree from flattened X events (metadata events
+// skipped), aggregate the four genobf calls into one phase row, and walk
+// the critical path anonymize -> bisection -> longest genobf.
+func TestTraceGolden(t *testing.T) {
+	golden(t, "trace.golden", filepath.Join("testdata", "trace.json"))
+}
+
+// TestJournalGolden pins the journal path: span records rehydrate with
+// parent-relative StartNS, and each of the two recorded roots gets its
+// own critical path.
+func TestJournalGolden(t *testing.T) {
+	golden(t, "journal.golden", filepath.Join("testdata", "runs.jsonl"))
+}
+
+// TestTopGolden pins -top trimming the phase table to the N largest
+// totals without touching the critical path.
+func TestTopGolden(t *testing.T) {
+	golden(t, "top.golden", "-top", "2", filepath.Join("testdata", "trace.json"))
+}
+
+// TestRoundTripFromObserver feeds tracestat a file written by the real
+// exporter, closing the loop between traceout's flattening and the
+// containment-stack reconstruction here.
+func TestRoundTripFromObserver(t *testing.T) {
+	o := obs.NewObserver()
+	root := o.StartSpan("anonymize")
+	pre := root.StartChild("precompute")
+	pre.End()
+	bis := root.StartChild("bisection")
+	for i := 0; i < 3; i++ {
+		g := bis.StartChild("genobf")
+		g.End()
+	}
+	bis.End()
+	root.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := traceout.ExportObserver(path, o); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"PHASE", "anonymize", "precompute", "bisection", "critical path (anonymize"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("round-trip output missing %q:\n%s", want, got)
+		}
+	}
+	// The three genobf calls must aggregate into a single phase row.
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "genobf") {
+			continue
+		}
+		if f := strings.Fields(line); len(f) < 2 || f[1] != "3" {
+			t.Errorf("genobf row count = %v, want 3:\n%s", f, got)
+		}
+		break
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, nil)
+	var ue runner.UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("run with no args: err = %v, want a usage error", err)
+	}
+	if runner.ExitCode(err) != 2 {
+		t.Fatalf("ExitCode = %d, want 2", runner.ExitCode(err))
+	}
+}
+
+func TestMissingFileFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Fatal("run on a missing file succeeded")
+	}
+}
+
+// TestMalformedInputFails covers the format sniffing: a file that is
+// neither a trace-event object nor journal JSONL must error, naming the
+// file.
+func TestMalformedInputFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run(&out, []string{path})
+	if err == nil {
+		t.Fatal("run on garbage input succeeded")
+	}
+	if !strings.Contains(err.Error(), "garbage.json") {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}

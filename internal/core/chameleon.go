@@ -104,19 +104,24 @@ func AnonymizeContext(ctx context.Context, g *uncertain.Graph, p Params) (*Resul
 			}
 			if cur.doublings >= p.MaxDoublings {
 				phase.SetAttr("found", false)
+				phase.SetAttr("doublings", cur.doublings)
 				phase.End()
 				return nil, ErrNoObfuscation
 			}
 			cur.doublings++
 			cur.sigmaLo, cur.sigmaHi = cur.sigmaHi, cur.sigmaHi*4
+			st.publishProgress(cur, res)
 			st.maybeCheckpoint(cur, res)
 		}
 		phase.SetAttr("found", true)
 		phase.SetAttr("sigma_hi", cur.sigmaHi)
+		phase.SetAttr("sigma_lo", cur.sigmaLo)
+		phase.SetAttr("doublings", cur.doublings)
 		phase.End()
 		p.Obs.Debug("core: exponential search bracketed sigma",
 			"sigma_lo", cur.sigmaLo, "sigma_hi", cur.sigmaHi, "dur", phase.Duration())
 		cur.phase = phaseBisection
+		st.publishProgress(cur, res)
 		st.maybeCheckpoint(cur, res)
 	}
 
@@ -124,6 +129,7 @@ func AnonymizeContext(ctx context.Context, g *uncertain.Graph, p Params) (*Resul
 	// obfuscation found.
 	phase := root.StartChild("bisection")
 	st.phase = phase
+	bisections := 0
 	for cur.sigmaHi-cur.sigmaLo > p.SigmaTolerance {
 		mid := (cur.sigmaLo + cur.sigmaHi) / 2
 		out, err := st.genObfCtx(ctx, mid, res)
@@ -139,10 +145,15 @@ func AnonymizeContext(ctx context.Context, g *uncertain.Graph, p Params) (*Resul
 		} else {
 			cur.sigmaLo = mid
 		}
+		bisections++
+		st.publishProgress(cur, res)
 		st.maybeCheckpoint(cur, res)
 	}
 	phase.SetAttr("sigma", cur.sigmaHi)
+	phase.SetAttr("steps", bisections)
+	phase.SetAttr("bracket_width", cur.sigmaHi-cur.sigmaLo)
 	phase.End()
+	st.publishDone()
 
 	res.Graph = cur.best.graph
 	res.EpsilonTilde = cur.best.epsilon

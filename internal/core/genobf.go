@@ -62,6 +62,7 @@ func (st *searchState) genObf(ctx context.Context, sigma float64, res *Result) g
 	reg.Counter("core.genobf_calls").Inc()
 	sp := st.phase.StartChild("genobf")
 	sp.SetAttr("sigma", sigma)
+	sp.SetAttr("call", res.GenObfCalls)
 
 	best := genObfOutcome{epsilon: 1}
 	for t := 0; t < st.p.Attempts; t++ {

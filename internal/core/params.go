@@ -126,6 +126,17 @@ type Params struct {
 	// disables observability; the search trace in Result.Trace is
 	// recorded either way.
 	Obs *obs.Observer
+
+	// ProgressBase and ProgressSpan map this search's completion fraction
+	// onto the shared run.progress gauge as base + fraction*span. Both
+	// zero (the default) means the search owns the whole bar — gauge runs
+	// 0→1 and run.eta_seconds is published too. An outer harness running
+	// many searches (the experiment sweep) sets them to this cell's slice
+	// of the overall grid, so the bar advances monotonically across the
+	// sweep instead of saw-toothing per cell; the harness then owns the
+	// sweep-wide ETA and the search leaves run.eta_seconds alone.
+	ProgressBase float64
+	ProgressSpan float64
 }
 
 func (p Params) withDefaults() Params {

@@ -50,6 +50,11 @@ type Config struct {
 	// results identical to an uninterrupted run.
 	Cells *CellStore
 
+	// prog tracks sweep-cell completion for the run.progress /
+	// run.eta_seconds gauges. Installed by withDefaults; shared across the
+	// by-value Config copies of one run because it is a pointer.
+	prog *sweepProgress
+
 	// cache memoizes sampled component labelings across the estimator calls
 	// of one experiment (installed by withDefaults, so every exported entry
 	// point gets one). The original graph of a sweep is re-labeled for every
@@ -61,6 +66,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.cache == nil {
 		c.cache = reliability.NewLabelCache()
+	}
+	if c.prog == nil {
+		c.prog = &sweepProgress{}
 	}
 	if c.Samples <= 0 {
 		if c.Quick {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"chameleon/internal/obs"
 )
 
 func quickCfg() Config {
@@ -390,4 +392,56 @@ func TestWriteTiming(t *testing.T) {
 	if strings.Contains(out, "ME\t") && strings.Contains(out, "FAIL") {
 		t.Fatalf("failed cells should simply be absent:\n%s", out)
 	}
+}
+
+// TestSweepProgressGauges: a finished sweep leaves run.progress at 1 with
+// a zero ETA, and each cell's σ-search maps its fraction into the cell's
+// slice of the bar (the windowed Params) rather than resetting it.
+func TestSweepProgressGauges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	c := quickCfg()
+	c.PaperKs = []int{100}
+	c.Obs = obs.NewObserver()
+	runs, _, err := c.SweepAll([]string{"ME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	snap := c.Obs.Registry().Snapshot()
+	if p := snap.Gauges[obs.ProgressGauge]; p != 1 {
+		t.Fatalf("%s = %v after a full sweep, want 1", obs.ProgressGauge, p)
+	}
+	if eta := snap.Gauges[obs.ETAGauge]; eta != 0 {
+		t.Fatalf("%s = %v after a full sweep, want 0", obs.ETAGauge, eta)
+	}
+}
+
+// TestSweepProgressWindow: the per-cell Params window advances with
+// completed cells so in-cell σ-search progress lands inside the cell's
+// slice of the sweep-wide bar.
+func TestSweepProgressWindow(t *testing.T) {
+	c := quickCfg().withDefaults()
+	c.prog.claimTotal(4)
+	base, span := c.prog.window()
+	if base != 0 || span != 0.25 {
+		t.Fatalf("first window = (%v, %v), want (0, 0.25)", base, span)
+	}
+	c.prog.step(c.Obs.Registry()) // nil registry: counts still advance
+	c.prog.step(nil)
+	base, span = c.prog.window()
+	if base != 0.5 || span != 0.25 {
+		t.Fatalf("window after 2 cells = (%v, %v), want (0.5, 0.25)", base, span)
+	}
+	// An unclaimed or nil progress tracker degrades to the "no window"
+	// mapping that hands the whole bar to the σ-search.
+	var nilProg *sweepProgress
+	if b, s := nilProg.window(); b != 0 || s != 0 {
+		t.Fatalf("nil window = (%v, %v), want (0, 0)", b, s)
+	}
+	nilProg.step(nil)
+	nilProg.claimTotal(3)
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"chameleon/internal/core"
@@ -16,6 +17,63 @@ import (
 
 // Methods is the paper's comparison set (Table II), in reporting order.
 var Methods = []string{"RSME", "RS", "ME", "Rep-An"}
+
+// sweepProgress is the sweep-cell cursor behind the run.progress /
+// run.eta_seconds gauges: total is the grid size claimed by the outermost
+// entry point (SweepAll claims the full dataset grid before per-dataset
+// Sweeps can claim just theirs), done counts finished cells — restored
+// ones included, since replaying them is work the run no longer has to do.
+type sweepProgress struct {
+	total atomic.Int64
+	done  atomic.Int64
+}
+
+// claimTotal installs the grid size if no outer scope has claimed one yet.
+func (p *sweepProgress) claimTotal(total int) {
+	if p != nil {
+		p.total.CompareAndSwap(0, int64(total))
+	}
+}
+
+// step marks one cell finished and republishes the gauges. The ETA is the
+// mean observed cell cost (the exp.cell_seconds histogram) times the cells
+// left; restored cells cost ~nothing, so the mean self-corrects as the
+// sweep replays or computes.
+func (p *sweepProgress) step(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	// The cell count advances unconditionally — window() feeds the next
+	// cell's Params whether or not metrics are being collected.
+	done, total := p.done.Add(1), p.total.Load()
+	if reg == nil || total <= 0 {
+		return
+	}
+	if done > total {
+		done = total
+	}
+	reg.Gauge(obs.ProgressGauge).Set(float64(done) / float64(total))
+	h := reg.Histogram("exp.cell_seconds", obs.TimeBuckets)
+	var eta float64
+	if n := h.Count(); n > 0 {
+		eta = h.Sum() / float64(n) * float64(total-done)
+	}
+	reg.Gauge(obs.ETAGauge).Set(eta)
+}
+
+// window returns the [base, base+span) slice of the progress bar the next
+// cell occupies, for core.Params so the σ-search inside the cell advances
+// the sweep-wide bar smoothly instead of saw-toothing its own 0→1.
+func (p *sweepProgress) window() (base, span float64) {
+	if p == nil {
+		return 0, 0
+	}
+	total := p.total.Load()
+	if total <= 0 {
+		return 0, 0
+	}
+	return float64(p.done.Load()) / float64(total), 1 / float64(total)
+}
 
 // Run is one (dataset, method, k) cell of the evaluation sweep, carrying
 // every metric the figures need.
@@ -106,6 +164,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		c.Obs.Registry().Counter("exp.cells_restored").Inc()
 		c.Obs.Debug("exp: cell restored from sweep checkpoint",
 			"dataset", d.Name, "method", method, "k", k)
+		c.prog.step(c.Obs.Registry())
 		return cached
 	}
 	run := Run{Dataset: d.Name, Method: method, PaperK: paperK, K: k}
@@ -127,6 +186,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		c.Obs.Debug("exp: cell done", "dataset", d.Name, "method", method,
 			"k", k, "failed", run.Failed, "anon", run.AnonElapsed,
 			"eval", run.EvalElapsed, "total", run.Elapsed)
+		c.prog.step(c.Obs.Registry())
 		if c.ctx().Err() == nil {
 			// Only genuinely finished cells are checkpointed: a cell whose
 			// failure is the cancellation itself must be recomputed on
@@ -151,6 +211,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		Attempts:     8,
 		MaxDoublings: 10,
 	}
+	params.ProgressBase, params.ProgressSpan = c.prog.window()
 	res, err := anonymizeWith(c.ctx(), method, g, params)
 	run.AnonElapsed = time.Since(start)
 	if res != nil {
@@ -164,6 +225,8 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 	}
 	run.EpsilonTilde = res.EpsilonTilde
 	run.Sigma = res.Sigma
+	cell.SetAttr("sigma", res.Sigma)
+	cell.SetAttr("epsilon_tilde", res.EpsilonTilde)
 
 	evalStart := time.Now()
 	eval := cell.StartChild("evaluate")
@@ -201,6 +264,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 // Sweep runs the full method x k grid for one dataset.
 func (c Config) Sweep(d gen.Dataset, methods []string) ([]Run, Baseline, error) {
 	c = c.withDefaults()
+	c.prog.claimTotal(len(methods) * len(c.PaperKs))
 	g, err := c.BuildDataset(d)
 	if err != nil {
 		return nil, Baseline{}, err
@@ -224,6 +288,7 @@ func (c Config) Sweep(d gen.Dataset, methods []string) ([]Run, Baseline, error) 
 // SweepAll runs the full evaluation grid over every dataset.
 func (c Config) SweepAll(methods []string) ([]Run, []Baseline, error) {
 	c = c.withDefaults() // one shared label cache across all datasets
+	c.prog.claimTotal(len(c.Datasets()) * len(methods) * len(c.PaperKs))
 	var allRuns []Run
 	var bases []Baseline
 	for _, d := range c.Datasets() {

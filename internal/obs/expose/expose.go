@@ -1,11 +1,13 @@
 // Package expose serves an Observer's live state over HTTP for the
 // duration of a run: Prometheus-text /metrics, a /healthz liveness probe,
-// a /runs JSON listing of the run records registered with the server, and
-// the stdlib pprof handlers under /debug/pprof/. A background differ
-// snapshots the registry on a fixed interval and turns counter deltas
-// into per-second rates, which /metrics publishes as companion
-// *_per_second gauges; an optional OnSnapshot hook receives every tick
-// (the journal uses it to record periodic snapshots).
+// a /runs JSON listing of the run records registered with the server, a
+// /trace JSON view of the live span trees, and the stdlib pprof handlers
+// under /debug/pprof/. A background differ snapshots the registry on a
+// fixed interval and turns counter deltas into per-second rates, which
+// /metrics publishes as companion *_per_second gauges; an optional
+// OnSnapshot hook receives every tick (the journal uses it to record
+// periodic snapshots). Each tick also samples runtime/metrics — Go
+// runtime health gauges land on /metrics alongside the run's own.
 //
 // Like the rest of the obs subsystem, a nil *Server is usable: every
 // method is a no-op, so CLIs can hold one unconditionally and only
@@ -20,6 +22,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -51,13 +55,43 @@ type Options struct {
 	OnSnapshot func(at time.Time, s obs.Snapshot, rates map[string]float64)
 }
 
-// RunInfo is one run record listed by /runs.
+// buildInfo identifies the running binary for the build_info gauge.
+type buildInfo struct {
+	version   string
+	goVersion string
+}
+
+// readBuildInfo extracts version identity from the binary's embedded
+// build metadata: the main module version when built from a module proxy,
+// else the VCS revision a `go build` stamped, else "devel".
+func readBuildInfo() buildInfo {
+	b := buildInfo{version: "devel", goVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		b.version = v
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+			b.version = kv.Value[:12]
+		}
+	}
+	return b
+}
+
+// RunInfo is one run record listed by /runs. Progress and ETASeconds are
+// filled at serve time for running records from the run.progress /
+// run.eta_seconds registry gauges the σ-search and sweep publish.
 type RunInfo struct {
-	ID      string    `json:"id"`
-	Command string    `json:"command"`
-	Args    []string  `json:"args,omitempty"`
-	Start   time.Time `json:"start"`
-	Status  string    `json:"status"` // "running", "done", "failed"
+	ID         string    `json:"id"`
+	Command    string    `json:"command"`
+	Args       []string  `json:"args,omitempty"`
+	Start      time.Time `json:"start"`
+	Status     string    `json:"status"` // "running", "done", "failed"
+	Progress   float64   `json:"progress,omitempty"`
+	ETASeconds float64   `json:"eta_seconds,omitempty"`
 }
 
 // Server exposes one Observer. Construct with New; start the listener
@@ -66,6 +100,8 @@ type Server struct {
 	o     *obs.Observer
 	opts  Options
 	start time.Time
+	build buildInfo
+	rt    *obs.RuntimeSampler
 
 	mu     sync.Mutex
 	prev   obs.Snapshot
@@ -94,6 +130,8 @@ func New(o *obs.Observer, opts Options) *Server {
 		o:      o,
 		opts:   opts,
 		start:  now,
+		build:  readBuildInfo(),
+		rt:     obs.NewRuntimeSampler(o.Registry()),
 		prev:   o.Registry().Snapshot(),
 		prevAt: now,
 		rates:  map[string]float64{},
@@ -111,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -201,6 +240,10 @@ func (s *Server) Poll() {
 }
 
 func (s *Server) pollAt(now time.Time) {
+	// Refresh the Go runtime gauges first so the tick's snapshot (and the
+	// journal record the OnSnapshot hook writes) carries current values.
+	// This runs on the differ tick, off the instrumented hot paths.
+	s.rt.Sample()
 	cur := s.o.Registry().Snapshot()
 
 	s.mu.Lock()
@@ -269,7 +312,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "chameleon telemetry\n\n/metrics       Prometheus text exposition\n/healthz       liveness probe\n/runs          run records (JSON)\n/debug/pprof/  runtime profiles\n")
+	fmt.Fprintf(w, "chameleon telemetry\n\n/metrics       Prometheus text exposition\n/healthz       liveness probe\n/runs          run records (JSON)\n/trace         live span trees (JSON)\n/debug/pprof/  runtime profiles\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -285,6 +328,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	WritePrometheus(w, s.opts.Namespace, snap, rates)
 	up := s.opts.Namespace + "_uptime_seconds"
 	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", up, up, formatValue(time.Since(s.start).Seconds()))
+	// build_info is the standard dashboard-labeling idiom: a constant 1
+	// whose labels carry the identity. The registry has no label support,
+	// so it is emitted directly, like the uptime gauge above.
+	bi := s.opts.Namespace + "_build_info"
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s{version=%q,go_version=%q,gomaxprocs=\"%d\"} 1\n",
+		bi, bi, s.build.version, s.build.goVersion, runtime.GOMAXPROCS(0))
+}
+
+// handleTrace serves the current span trees as JSON. Snapshots are taken
+// at request time, so running spans report live durations; the payload is
+// the SpanSnapshot shape (name/start/start_ns/duration_ns/running/attrs/
+// children) under a "spans" key, with "at" stamping the capture moment.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	var snaps []*obs.SpanSnapshot
+	for _, sp := range s.o.Spans() {
+		if snap := sp.SnapshotTree(); snap != nil {
+			snaps = append(snaps, snap)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		At    time.Time           `json:"at"`
+		Spans []*obs.SpanSnapshot `json:"spans"`
+	}{time.Now(), snaps})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -297,6 +366,19 @@ func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
 	runs := make([]RunInfo, len(s.runs))
 	copy(runs, s.runs)
 	s.mu.Unlock()
+	// Running records reflect the live progress gauges the σ-search (and
+	// the sweep) publish. Read via the snapshot, not Registry().Gauge —
+	// the getter would mint zero-valued gauges into /metrics on every
+	// /runs request of an uninstrumented run.
+	snap := s.o.Registry().Snapshot()
+	if p, ok := snap.Gauges[obs.ProgressGauge]; ok {
+		for i := range runs {
+			if runs[i].Status == "running" {
+				runs[i].Progress = p
+				runs[i].ETASeconds = snap.Gauges[obs.ETAGauge]
+			}
+		}
+	}
 	sort.SliceStable(runs, func(i, j int) bool { return runs[i].Start.Before(runs[j].Start) })
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -9,6 +9,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -39,9 +40,10 @@ func testObserver() *obs.Observer {
 }
 
 // metricLine matches a Prometheus text-format sample: a valid metric name,
-// an optional single-label set, and a float value.
+// an optional label set (histogram le buckets, build_info identity
+// labels), and a float value.
 var metricLine = regexp.MustCompile(
-	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (NaN|[+-]?Inf|[+-]?\d+(\.\d+)?([eE][+-]?\d+)?)$`)
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[+-]?\d+(\.\d+)?([eE][+-]?\d+)?)$`)
 
 // typeLine matches a # TYPE comment.
 var typeLine = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
@@ -99,7 +101,7 @@ func TestMetricsEndpointFormat(t *testing.T) {
 		}
 		v, _ := strconv.ParseFloat(m[3], 64)
 		samples[m[1]+m[2]] = v
-		if m[2] != "" {
+		if strings.Contains(m[2], `le="`) {
 			bucketLines = append(bucketLines, line)
 		}
 	}
@@ -456,5 +458,208 @@ func TestSanitizeMetricName(t *testing.T) {
 		if got := sanitizeMetricName(in); got != want {
 			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestTraceEndpoint: /trace serves the observer's span trees as JSON;
+// running spans carry running=true with a live duration, ended spans their
+// frozen one.
+func TestTraceEndpoint(t *testing.T) {
+	o := testObserver()
+	root := o.StartSpan("anonymize")
+	g := root.StartChild("genobf")
+	g.SetAttr("sigma", 0.5)
+	time.Sleep(time.Millisecond)
+	g.End()
+	root.StartChild("bisection") // still running
+
+	s := New(o, Options{})
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/trace", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/trace status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var payload struct {
+		At    time.Time           `json:"at"`
+		Spans []*obs.SpanSnapshot `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("/trace body: %v\n%s", err, rr.Body.String())
+	}
+	if payload.At.IsZero() || len(payload.Spans) != 1 {
+		t.Fatalf("payload = at %v, %d spans", payload.At, len(payload.Spans))
+	}
+	tree := payload.Spans[0]
+	if !tree.Running || tree.DurationNS <= 0 {
+		t.Fatalf("root must be running with live duration: %+v", tree)
+	}
+	gs := tree.Find("genobf")
+	if gs == nil || gs.Running || gs.DurationNS <= 0 {
+		t.Fatalf("genobf snapshot = %+v", gs)
+	}
+	if v, ok := gs.Attrs["sigma"]; !ok || v != 0.5 {
+		t.Fatalf("genobf attrs = %v", gs.Attrs)
+	}
+	if bs := tree.Find("bisection"); bs == nil || !bs.Running {
+		t.Fatalf("bisection snapshot = %+v", bs)
+	}
+}
+
+// TestBuildInfoAndRuntimeMetrics: /metrics carries the build_info identity
+// gauge always, and the Go runtime gauges once a differ tick has sampled
+// them.
+func TestBuildInfoAndRuntimeMetrics(t *testing.T) {
+	o := testObserver()
+	s := New(o, Options{})
+	scrape := func() string {
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+		return rr.Body.String()
+	}
+
+	body := scrape()
+	if !strings.Contains(body, `chameleon_build_info{version="`) ||
+		!strings.Contains(body, `go_version="go`) ||
+		!strings.Contains(body, `gomaxprocs="`) {
+		t.Fatalf("/metrics missing build_info labels:\n%s", body)
+	}
+
+	s.Poll()
+	body = scrape()
+	for _, name := range []string{
+		"chameleon_runtime_goroutines",
+		"chameleon_runtime_heap_bytes",
+		"chameleon_runtime_gomaxprocs",
+	} {
+		if !strings.Contains(body, name+" ") {
+			t.Fatalf("/metrics missing %s after a poll:\n%s", name, body)
+		}
+	}
+}
+
+// TestRunsProgress: a running record surfaces the run.progress and
+// run.eta_seconds gauges; finished records do not, and nothing is
+// reported before the gauges exist (no registry pollution via the
+// gauge getter).
+func TestRunsProgress(t *testing.T) {
+	o := testObserver()
+	s := New(o, Options{})
+	s.AddRun(RunInfo{ID: "r1", Command: "anonymize", Start: time.Now(), Status: "running"})
+	s.AddRun(RunInfo{ID: "r0", Command: "anonymize", Start: time.Now().Add(-time.Hour), Status: "done"})
+
+	fetch := func() []RunInfo {
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/runs", nil))
+		var payload struct {
+			Runs []RunInfo `json:"runs"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+			t.Fatalf("/runs body: %v", err)
+		}
+		return payload.Runs
+	}
+
+	for _, r := range fetch() {
+		if r.Progress != 0 || r.ETASeconds != 0 {
+			t.Fatalf("progress shown before any gauge exists: %+v", r)
+		}
+	}
+	if _, ok := o.Registry().Snapshot().Gauges[obs.ProgressGauge]; ok {
+		t.Fatal("/runs serving minted the progress gauge into the registry")
+	}
+
+	o.Registry().Gauge(obs.ProgressGauge).Set(0.62)
+	o.Registry().Gauge(obs.ETAGauge).Set(14.5)
+	runs := fetch()
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	// Sorted by start: r0 (done) first, r1 (running) second.
+	if runs[0].ID != "r0" || runs[0].Progress != 0 || runs[0].ETASeconds != 0 {
+		t.Fatalf("done record must not carry progress: %+v", runs[0])
+	}
+	if runs[1].ID != "r1" || runs[1].Progress != 0.62 || runs[1].ETASeconds != 14.5 {
+		t.Fatalf("running record progress = %+v", runs[1])
+	}
+}
+
+// TestTraceServingConcurrentWithSpanMutation hammers /trace (and /metrics)
+// while other goroutines start, attribute and end spans in the same trees
+// — the live mid-run serving path. Meaningful under -race, which the
+// check.sh double-count pass runs over this package.
+func TestTraceServingConcurrentWithSpanMutation(t *testing.T) {
+	o := obs.NewObserver()
+	s := New(o, Options{})
+	handler := s.Handler()
+	root := o.StartSpan("anonymize")
+
+	const writers = 4
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			phase := root.StartChild("phase")
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					phase.End()
+					return
+				default:
+				}
+				g := phase.StartChild("genobf")
+				g.SetAttr("sigma", float64(i))
+				a := g.StartChild("attempt")
+				a.SetAttr("ok", i%2 == 0)
+				a.End()
+				g.End()
+				o.Registry().Counter("core.genobf_calls").Add(1)
+			}
+		}(w)
+	}
+
+	for i := 0; i < 50; i++ {
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, httptest.NewRequest("GET", "/trace", nil))
+		if rr.Code != 200 {
+			t.Fatalf("/trace status = %d", rr.Code)
+		}
+		var payload struct {
+			Spans []*obs.SpanSnapshot `json:"spans"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+			t.Fatalf("mid-run /trace body invalid: %v", err)
+		}
+		if len(payload.Spans) != 1 || payload.Spans[0].Name != "anonymize" {
+			t.Fatalf("mid-run /trace spans = %+v", payload.Spans)
+		}
+		s.Poll()
+		rr = httptest.NewRecorder()
+		handler.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+		if rr.Code != 200 {
+			t.Fatalf("/metrics status = %d", rr.Code)
+		}
+	}
+	close(done)
+	wg.Wait()
+	root.End()
+
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest("GET", "/trace", nil))
+	var payload struct {
+		Spans []*obs.SpanSnapshot `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Spans[0].Running {
+		t.Fatal("ended root still reported running")
+	}
+	if got := len(payload.Spans[0].Children); got != writers {
+		t.Fatalf("phases = %d, want %d", got, writers)
 	}
 }

@@ -7,6 +7,15 @@ import (
 	"sync"
 )
 
+// Gauge names shared between progress producers (the σ-search in core,
+// the sweep in exp) and consumers (the expose server's /runs view).
+// Progress is a completed fraction in [0,1]; the ETA is a seconds
+// estimate from the mean cost of the remaining units of work.
+const (
+	ProgressGauge = "run.progress"
+	ETAGauge      = "run.eta_seconds"
+)
+
 // Observer bundles a metrics registry, collected trace roots and an
 // optional structured logger. It is the single hook instrumented code
 // accepts: a nil *Observer disables all three at the cost of a pointer

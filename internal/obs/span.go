@@ -72,6 +72,14 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// runningLocked reports whether the span is still accumulating time.
+// Spans rehydrated from JSON (journal replay, tests building literals)
+// carry no wall-clock start; their DurationNS is authoritative even though
+// End was never called on them. Caller holds s.mu.
+func (s *Span) runningLocked() bool {
+	return !s.ended && !s.start.IsZero()
+}
+
 // Ended reports whether End has been called.
 func (s *Span) Ended() bool {
 	if s == nil {
@@ -90,10 +98,10 @@ func (s *Span) Duration() time.Duration {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ended {
-		return time.Duration(s.DurationNS)
+	if s.runningLocked() {
+		return time.Since(s.start)
 	}
-	return time.Since(s.start)
+	return time.Duration(s.DurationNS)
 }
 
 // SetAttr records a key/value attribute on the span.
@@ -163,6 +171,72 @@ func (s *Span) findAll(name string, out *[]*Span) {
 	}
 }
 
+// SpanSnapshot is a point-in-time copy of a span tree. Unlike marshaling
+// the *Span directly — whose DurationNS is frozen at 0 until End — a
+// snapshot reports the live duration of running spans and flags them, so
+// exported views (the /trace endpoint, the trace-event file) stay truthful
+// mid-run. Start is the span's absolute start time (monotonic-clock
+// accurate when consumed in-process); StartNS is the parent-relative
+// offset, same as on Span.
+type SpanSnapshot struct {
+	Name       string          `json:"name"`
+	Start      time.Time       `json:"start"`
+	StartNS    int64           `json:"start_ns"`
+	DurationNS int64           `json:"duration_ns"`
+	Running    bool            `json:"running,omitempty"`
+	Attrs      map[string]any  `json:"attrs,omitempty"`
+	Children   []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// SnapshotTree freezes the subtree rooted at s into a SpanSnapshot,
+// concurrently safe with spans being started, attributed and ended in the
+// same tree. Returns nil on a nil span.
+func (s *Span) SnapshotTree() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	snap := &SpanSnapshot{
+		Name:       s.Name,
+		Start:      s.start,
+		StartNS:    s.StartNS,
+		DurationNS: s.DurationNS,
+		Running:    s.runningLocked(),
+	}
+	if snap.Running {
+		snap.DurationNS = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.Attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.Attrs))
+		for k, v := range s.Attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.SnapshotTree())
+	}
+	return snap
+}
+
+// Find returns the first snapshot named name in a depth-first walk of the
+// subtree rooted at s (s itself included), or nil.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
 // WriteTree renders the span tree as indented text, one span per line with
 // its duration and attributes.
 func (s *Span) WriteTree(w io.Writer) error {
@@ -175,7 +249,13 @@ func (s *Span) WriteTree(w io.Writer) error {
 func (s *Span) writeTree(w io.Writer, depth int) error {
 	s.mu.Lock()
 	name := s.Name
+	// A span still running has a frozen DurationNS of 0; report the live
+	// duration instead so dumping a tree mid-run shows elapsed time, not a
+	// misleading zero.
 	dur := time.Duration(s.DurationNS)
+	if s.runningLocked() {
+		dur = time.Since(s.start)
+	}
 	attrs := make([]string, 0, len(s.Attrs))
 	for _, k := range sortedKeys(s.Attrs) {
 		attrs = append(attrs, fmt.Sprintf("%s=%v", k, s.Attrs[k]))

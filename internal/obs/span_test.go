@@ -128,6 +128,79 @@ func TestSpanConcurrentChildren(t *testing.T) {
 	}
 }
 
+// TestSnapshotTree: a snapshot copies names, offsets and attrs; running
+// spans report a live (non-zero, growing) duration and Running true, ended
+// spans the frozen duration with Running false.
+func TestSnapshotTree(t *testing.T) {
+	root := NewSpan("root")
+	done := root.StartChild("done")
+	done.SetAttr("sigma", 0.25)
+	time.Sleep(time.Millisecond)
+	done.End()
+	live := root.StartChild("live")
+	time.Sleep(time.Millisecond)
+
+	snap := root.SnapshotTree()
+	if snap.Name != "root" || !snap.Running || snap.DurationNS <= 0 {
+		t.Fatalf("root snapshot = %+v, want running with live duration", snap)
+	}
+	if len(snap.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(snap.Children))
+	}
+	ds := snap.Find("done")
+	if ds == nil || ds.Running || ds.DurationNS != done.DurationNS {
+		t.Fatalf("done snapshot = %+v, want frozen duration %d", ds, done.DurationNS)
+	}
+	if v, ok := ds.Attrs["sigma"]; !ok || v != 0.25 {
+		t.Fatalf("done attrs = %v", ds.Attrs)
+	}
+	ls := snap.Find("live")
+	if ls == nil || !ls.Running || ls.DurationNS <= 0 {
+		t.Fatalf("live snapshot = %+v, want running with live duration", ls)
+	}
+	if ls.StartNS != live.StartNS {
+		t.Fatalf("live offset = %d, want %d", ls.StartNS, live.StartNS)
+	}
+
+	// A later snapshot of a still-running span reports a larger duration;
+	// mutating the snapshot's attrs never touches the span.
+	time.Sleep(time.Millisecond)
+	snap2 := root.SnapshotTree()
+	if snap2.Find("live").DurationNS <= ls.DurationNS {
+		t.Fatal("running span's snapshot duration did not grow")
+	}
+	ds.Attrs["sigma"] = 99.0
+	if v, _ := done.Attr("sigma"); v != 0.25 {
+		t.Fatal("snapshot attrs alias the span's map")
+	}
+
+	var nilSpan *Span
+	if nilSpan.SnapshotTree() != nil {
+		t.Fatal("nil span snapshot must be nil")
+	}
+	var nilSnap *SpanSnapshot
+	if nilSnap.Find("x") != nil {
+		t.Fatal("nil snapshot Find must be nil")
+	}
+}
+
+// TestWriteTreeLiveDurations: dumping a tree whose spans are still running
+// must print their elapsed time, not the frozen zero of an unfinished span.
+func TestWriteTreeLiveDurations(t *testing.T) {
+	root := NewSpan("root")
+	root.StartChild("running")
+	time.Sleep(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := root.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if strings.HasSuffix(line, " 0s") {
+			t.Fatalf("live tree printed a zero duration:\n%s", sb.String())
+		}
+	}
+}
+
 // TestWriteTree renders names, durations and attributes with indentation.
 func TestWriteTree(t *testing.T) {
 	root := NewSpan("root")

@@ -1,0 +1,162 @@
+// Package traceout exports obs span trees in the Chrome trace-event JSON
+// format (the "JSON Array Format" with a traceEvents envelope), which
+// chrome://tracing and Perfetto's trace viewer load directly. Each span
+// becomes one "X" (complete) event with microsecond timestamps; each root
+// tree gets its own thread row named after the root span, so concurrent
+// runs (e.g. sweep cells) render as parallel tracks.
+package traceout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+// Event is a single Chrome trace event. Only the fields the viewers
+// require are modeled: phase "X" (complete, with Dur) for spans and phase
+// "M" (metadata) for process/thread naming. TS and Dur are microseconds,
+// the native unit of the format.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// File is the top-level envelope. DisplayTimeUnit hints the viewer's
+// default zoom unit; OtherData carries free-form run metadata.
+type File struct {
+	TraceEvents     []Event        `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const pid = 1
+
+// Convert flattens snapshot trees into trace events. Timestamps are
+// rebased so the earliest root starts at ts=0; each root is assigned its
+// own tid (1-based, in input order) with a thread_name metadata event, and
+// a single process_name metadata event labels the whole track group.
+// Running spans are exported with their live duration and a running:true
+// arg so an interrupted run's trace is still truthful.
+func Convert(roots []*obs.SpanSnapshot) []Event {
+	var base time.Time
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if base.IsZero() || r.Start.Before(base) {
+			base = r.Start
+		}
+	}
+	events := []Event{{
+		Name: "process_name", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": "chameleon"},
+	}}
+	tid := 0
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		tid++
+		events = append(events, Event{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": r.Name},
+		})
+		startUS := float64(r.Start.Sub(base).Nanoseconds()) / 1e3
+		events = appendSpan(events, r, startUS, tid)
+	}
+	return events
+}
+
+// appendSpan emits the "X" event for s at absolute time tsUS and recurses
+// into children using their parent-relative offsets.
+func appendSpan(events []Event, s *obs.SpanSnapshot, tsUS float64, tid int) []Event {
+	ev := Event{
+		Name: s.Name,
+		Cat:  "span",
+		Ph:   "X",
+		TS:   tsUS,
+		Dur:  float64(s.DurationNS) / 1e3,
+		PID:  pid,
+		TID:  tid,
+	}
+	if len(s.Attrs) > 0 || s.Running {
+		ev.Args = make(map[string]any, len(s.Attrs)+1)
+		for k, v := range s.Attrs {
+			ev.Args[k] = v
+		}
+		if s.Running {
+			ev.Args["running"] = true
+		}
+	}
+	events = append(events, ev)
+	for _, c := range s.Children {
+		if c == nil {
+			continue
+		}
+		childTS := tsUS + float64(c.StartNS)/1e3
+		// Offsets are measured against the parent's start; clamp tiny
+		// negative skew (clock reads race span creation) so viewers never
+		// see a child left of its parent.
+		if childTS < tsUS {
+			childTS = tsUS
+		}
+		events = appendSpan(events, c, childTS, tid)
+	}
+	return events
+}
+
+// Write emits the full trace file for the given snapshot trees.
+func Write(w io.Writer, roots []*obs.SpanSnapshot, otherData map[string]any) error {
+	f := File{
+		TraceEvents:     Convert(roots),
+		DisplayTimeUnit: "ms",
+		OtherData:       otherData,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the trace to path, creating or truncating it.
+func WriteFile(path string, roots []*obs.SpanSnapshot, otherData map[string]any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traceout: %w", err)
+	}
+	if err := Write(f, roots, otherData); err != nil {
+		f.Close()
+		return fmt.Errorf("traceout: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("traceout: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ExportObserver snapshots every span tree attached to o and writes them
+// to path. A nil observer or one with no spans still produces a valid
+// (empty) trace file, so a -traceout flag never fails just because a run
+// aborted before tracing started.
+func ExportObserver(path string, o *obs.Observer) error {
+	var snaps []*obs.SpanSnapshot
+	if o != nil {
+		for _, s := range o.Spans() {
+			if snap := s.SnapshotTree(); snap != nil {
+				snaps = append(snaps, snap)
+			}
+		}
+	}
+	return WriteFile(path, snaps, map[string]any{
+		"exporter": "chameleon traceout",
+	})
+}

@@ -1,0 +1,196 @@
+package traceout
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+// buildTree makes a realistic two-root span forest: a finished anonymize
+// tree with nested genobf/attempt spans, and a second root that is still
+// running when snapshotted.
+func buildTree(t *testing.T) []*obs.SpanSnapshot {
+	t.Helper()
+	root := obs.NewSpan("anonymize")
+	g := root.StartChild("genobf")
+	g.SetAttr("sigma", 0.5)
+	a := g.StartChild("attempt")
+	a.SetAttr("ok", true)
+	time.Sleep(time.Millisecond)
+	a.End()
+	g.End()
+	root.End()
+
+	live := obs.NewSpan("sweep")
+	live.StartChild("cell")
+	time.Sleep(time.Millisecond)
+
+	return []*obs.SpanSnapshot{root.SnapshotTree(), live.SnapshotTree()}
+}
+
+// TestChromeTraceSchema validates the exported file against the Chrome
+// trace-event schema requirements that chrome://tracing and Perfetto
+// enforce: a top-level "traceEvents" array, every event with a phase of
+// "X" or "M", microsecond ts/dur that are non-negative, complete events
+// carrying pid/tid, and names non-empty throughout.
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, buildTree(t), map[string]any{"k": 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode generically: the schema check must see what a viewer sees,
+	// not our own structs.
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	rawEvents, ok := doc["traceEvents"]
+	if !ok {
+		t.Fatal(`trace file missing top-level "traceEvents" key`)
+	}
+	var unit string
+	if err := json.Unmarshal(doc["displayTimeUnit"], &unit); err != nil || (unit != "ms" && unit != "ns") {
+		t.Fatalf("displayTimeUnit = %q, want ms or ns", unit)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(rawEvents, &events); err != nil {
+		t.Fatalf("traceEvents is not an array of objects: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events exported")
+	}
+
+	var xEvents, mEvents int
+	for i, ev := range events {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			t.Fatalf("event %d has no name: %v", i, ev)
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			xEvents++
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				t.Fatalf("event %d (%s): ts = %v, want non-negative number", i, name, ev["ts"])
+			}
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				t.Fatalf("event %d (%s): dur = %v, want >= 0", i, name, dur)
+			}
+			if _, ok := ev["pid"].(float64); !ok {
+				t.Fatalf("event %d (%s) missing pid", i, name)
+			}
+			if _, ok := ev["tid"].(float64); !ok {
+				t.Fatalf("event %d (%s) missing tid", i, name)
+			}
+		case "M":
+			mEvents++
+			args, _ := ev["args"].(map[string]any)
+			if n, _ := args["name"].(string); n == "" {
+				t.Fatalf("metadata event %d missing args.name", i)
+			}
+		default:
+			t.Fatalf("event %d (%s): unexpected phase %q", i, name, ph)
+		}
+	}
+	// 5 spans (anonymize/genobf/attempt + sweep/cell) and 3 metadata
+	// events (process_name + one thread_name per root).
+	if xEvents != 5 || mEvents != 3 {
+		t.Fatalf("events = %d X + %d M, want 5 X + 3 M", xEvents, mEvents)
+	}
+}
+
+// TestConvertTimelineGeometry checks the timing math: children sit inside
+// their parents, roots are rebased against the earliest start, each root
+// has a distinct tid, and a running span exports its live duration with a
+// running arg.
+func TestConvertTimelineGeometry(t *testing.T) {
+	events := Convert(buildTree(t))
+
+	find := func(name string) Event {
+		t.Helper()
+		for _, e := range events {
+			if e.Ph == "X" && e.Name == name {
+				return e
+			}
+		}
+		t.Fatalf("no X event named %s", name)
+		return Event{}
+	}
+	anonymize, genobf, attempt := find("anonymize"), find("genobf"), find("attempt")
+	sweep, cell := find("sweep"), find("cell")
+
+	if anonymize.TS != 0 {
+		t.Fatalf("earliest root ts = %v, want 0", anonymize.TS)
+	}
+	if genobf.TS < anonymize.TS || genobf.TS+genobf.Dur > anonymize.TS+anonymize.Dur+1 {
+		t.Fatalf("genobf [%v,+%v] escapes anonymize [%v,+%v]",
+			genobf.TS, genobf.Dur, anonymize.TS, anonymize.Dur)
+	}
+	if attempt.TS < genobf.TS {
+		t.Fatalf("attempt starts before its parent")
+	}
+	if anonymize.TID == sweep.TID || anonymize.TID == 0 || sweep.TID == 0 {
+		t.Fatalf("roots share a tid: %d vs %d", anonymize.TID, sweep.TID)
+	}
+	if cell.TID != sweep.TID {
+		t.Fatalf("cell tid %d differs from its root's %d", cell.TID, sweep.TID)
+	}
+	if sweep.TS <= 0 {
+		t.Fatalf("later root ts = %v, want > 0 after rebasing", sweep.TS)
+	}
+	if run, _ := sweep.Args["running"].(bool); !run || sweep.Dur <= 0 {
+		t.Fatalf("running root must export running=true with live dur, got %+v", sweep)
+	}
+	if v, ok := genobf.Args["sigma"]; !ok || v != 0.5 {
+		t.Fatalf("span attrs must become args, got %v", genobf.Args)
+	}
+}
+
+// TestExportObserver covers the file path and the degenerate inputs: a nil
+// observer and an observer with no spans still write a valid empty trace.
+func TestExportObserver(t *testing.T) {
+	dir := t.TempDir()
+
+	o := obs.NewObserver()
+	s := o.StartSpan("anonymize")
+	s.End()
+	path := filepath.Join(dir, "trace.json")
+	if err := ExportObserver(path, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("exported file is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) < 2 {
+		t.Fatalf("events = %d, want metadata + span", len(f.TraceEvents))
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := ExportObserver(empty, nil); err != nil {
+		t.Fatalf("nil observer export: %v", err)
+	}
+	data, err = os.ReadFile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ef File
+	if err := json.Unmarshal(data, &ef); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+
+	if err := ExportObserver(filepath.Join(dir, "no/such/dir/x.json"), o); err == nil {
+		t.Fatal("unwritable path must error")
+	}
+}

@@ -1,7 +1,10 @@
 package chameleon
 
 import (
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -17,8 +20,12 @@ import (
 // no-op recorder is genuinely free and all cost lives behind the observer.
 //
 // Wall-clock comparisons are noisy on shared machines, so the guard is
-// opt-in: set OBS_OVERHEAD_GUARD=1 (scripts/check.sh documents it). Each
-// side takes the best of several rounds to squeeze out scheduler noise.
+// opt-in: set OBS_OVERHEAD_GUARD=1 (scripts/check.sh documents it). The
+// two sides of each comparison run in interleaved rounds (off, on, off,
+// on, ...) so machine-wide drift — another tenant spinning up
+// mid-measurement — hits both sides instead of biasing whichever ran
+// second, and the verdict needs both the best-case and the median ratio
+// over budget (see overBudget).
 func TestObsOverheadGuard(t *testing.T) {
 	if os.Getenv("OBS_OVERHEAD_GUARD") == "" {
 		t.Skip("set OBS_OVERHEAD_GUARD=1 to run the wall-clock overhead guard")
@@ -29,17 +36,35 @@ func TestObsOverheadGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	best := func(run func(b *testing.B)) float64 {
+	// pairRounds interleaves rounds of a and b, returning every round's
+	// ns/op per side. setup/teardown bracket each b round (the serve-mode
+	// case uses them to scrape only while the served side runs).
+	pairRounds := func(a, b func(*testing.B), setup func() func()) (nsA, nsB []float64) {
 		const rounds = 5
-		min := 0.0
 		for r := 0; r < rounds; r++ {
-			res := testing.Benchmark(run)
-			ns := float64(res.NsPerOp())
-			if min == 0 || ns < min {
-				min = ns
+			nsA = append(nsA, float64(testing.Benchmark(a).NsPerOp()))
+			var teardown func()
+			if setup != nil {
+				teardown = setup()
+			}
+			nsB = append(nsB, float64(testing.Benchmark(b).NsPerOp()))
+			if teardown != nil {
+				teardown()
 			}
 		}
-		return min
+		return nsA, nsB
+	}
+	// overBudget compares the two sides at both their best-case and their
+	// median timing. A genuine regression shifts the entire distribution,
+	// so it must exceed the budget in both ratios; a one-off scheduler
+	// spike moves only one of them, and is filtered without loosening the
+	// 2% budget itself.
+	overBudget := func(name string, slow, fast []float64) bool {
+		minRatio := minOf(slow) / minOf(fast)
+		medRatio := medianOf(slow) / medianOf(fast)
+		t.Logf("%s: best %.0f vs %.0f ns/op (ratio %.4f), median %.0f vs %.0f ns/op (ratio %.4f)",
+			name, minOf(slow), minOf(fast), minRatio, medianOf(slow), medianOf(fast), medRatio)
+		return minRatio > 1.02 && medRatio > 1.02
 	}
 
 	cases := []struct {
@@ -65,35 +90,89 @@ func TestObsOverheadGuard(t *testing.T) {
 		}},
 	}
 	for _, c := range cases {
-		off := best(c.run(nil))
-		on := best(c.run(obs.NewObserver()))
-		ratio := off / on
-		t.Logf("%s: off %.0f ns/op, on %.0f ns/op, off/on %.4f", c.name, off, on, ratio)
-		if ratio > 1.02 {
-			t.Errorf("%s: disabled observability is %.1f%% slower than enabled — the no-op path regressed",
-				c.name, (ratio-1)*100)
+		off, on := pairRounds(c.run(nil), c.run(obs.NewObserver()), nil)
+		if overBudget(c.name+" off-vs-on", off, on) {
+			t.Errorf("%s: disabled observability is over 2%% slower than enabled — the no-op path regressed", c.name)
 		}
 	}
 
-	// Serve mode: binding the exposition endpoint and letting its snapshot
-	// differ tick in the background must add <2% to the anonymize path.
-	// The ticker's only work is Registry().Snapshot() plus a map diff, off
-	// the hot path entirely.
-	plain := best(cases[0].run(obs.NewObserver()))
+	// Serve mode: binding the exposition endpoint, letting its snapshot
+	// differ tick (which also samples runtime/metrics into the registry)
+	// and scraping /metrics and /trace continuously must add <2% to the
+	// anonymize path. Everything the server does — snapshot diffing,
+	// runtime sampling, span-tree snapshots for /trace — runs off the hot
+	// path, on the ticker goroutine or in request handlers. The scraper is
+	// alive only during the served rounds so it cannot contaminate the
+	// plain side of the comparison.
 	servedObs := obs.NewObserver()
-	srv := expose.New(servedObs, expose.Options{Interval: 50 * time.Millisecond})
-	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+	srv := expose.New(servedObs, expose.Options{Interval: 250 * time.Millisecond})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
 		t.Fatal(err)
 	}
-	served := best(cases[0].run(servedObs))
+	startScraper := func() func() {
+		stop := make(chan struct{})
+		scraped := make(chan struct{})
+		go func() {
+			defer close(scraped)
+			scrape(addr, stop)
+		}()
+		return func() { close(stop); <-scraped }
+	}
+	plain, served := pairRounds(cases[0].run(obs.NewObserver()), cases[0].run(servedObs), startScraper)
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	ratio := served / plain
-	t.Logf("%s serve-mode: plain %.0f ns/op, serving %.0f ns/op, serving/plain %.4f",
-		cases[0].name, plain, served, ratio)
-	if ratio > 1.02 {
-		t.Errorf("%s: serve mode is %.1f%% slower than a bare observer — the exposition ticker leaked onto the hot path",
-			cases[0].name, (ratio-1)*100)
+	if overBudget(cases[0].name+" serve-mode", served, plain) {
+		t.Errorf("%s: serve mode is over 2%% slower than a bare observer — the exposition ticker, runtime sampler or /trace snapshots leaked onto the hot path",
+			cases[0].name)
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// scrape plays a monitoring stack against a live telemetry server: it
+// GETs /metrics and /trace every 250ms until stop closes, draining the
+// bodies like a real scraper would. 250ms is ~40x more aggressive than
+// a production Prometheus interval, but tame enough that the in-process
+// client (whose cost a real out-of-process scraper would not charge to
+// the server) leaves the measured path most of a single-core machine.
+// Scrape errors are ignored — the guard measures the serving cost, not
+// endpoint health.
+func scrape(addr string, stop <-chan struct{}) {
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			for _, path := range []string{"/metrics", "/trace"} {
+				resp, err := http.Get("http://" + addr + path)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
 	}
 }

@@ -6,7 +6,10 @@
 # Environment knobs:
 #   BENCHTIME          go test -benchtime value for the perf pass (default 1s)
 #   OBS_OVERHEAD_GUARD set to 1 to also enforce the <=2% observability
-#                      overhead budget (wall-clock sensitive; off by default)
+#                      overhead budget, serve mode included: the snapshot
+#                      differ, the runtime/metrics sampler and continuous
+#                      /metrics + /trace scraping all run during the
+#                      measurement (wall-clock sensitive; off by default)
 #   SKIP_BENCH_GATE    set to 1 to skip the benchcmp regression gate
 #   BENCH_MAX_SLOWDOWN allowed ns/op growth percentage vs the committed
 #                      baseline (default 25)

@@ -6,6 +6,7 @@ import (
 	"chameleon/internal/obs"
 	"chameleon/internal/obs/expose"
 	"chameleon/internal/obs/journal"
+	"chameleon/internal/obs/traceout"
 )
 
 // MetricsSnapshot is the frozen state of an observer's metrics registry:
@@ -50,3 +51,12 @@ func ReadJournal(path string) ([]*JournalRun, error) { return journal.ReadFile(p
 
 // NewRunID returns a fresh journal run identifier.
 func NewRunID(now time.Time) string { return journal.NewRunID(now) }
+
+// ExportTrace writes every span tree the observer has collected to path in
+// the Chrome trace-event JSON format, loadable in chrome://tracing and
+// Perfetto. Running spans are exported with their live duration and a
+// running:true arg, so exporting after an interrupt still yields a
+// truthful timeline. A nil observer writes a valid empty trace.
+func ExportTrace(path string, o *Observer) error {
+	return traceout.ExportObserver(path, o)
+}
