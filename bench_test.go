@@ -379,6 +379,90 @@ func BenchmarkDiscrepancyUncached(b *testing.B) {
 	}
 }
 
+// perturbDown returns a clone of g with every probability pushed DOWN by
+// delta (clamped away from 0): a one-directional perturbation keeps the
+// Δ-discrepancy mean away from zero, which a relative-SE stopping target
+// needs — a symmetric perturbation's Δ hovers near 0 and no sample budget
+// reaches a 5% RELATIVE error on it.
+func perturbDown(b *testing.B, g *uncertain.Graph, delta float64) *uncertain.Graph {
+	b.Helper()
+	h := g.Clone()
+	for i := 0; i < h.NumEdges(); i++ {
+		p := h.Edge(i).P - delta
+		if p < 0.01 {
+			p = 0.01
+		}
+		if err := h.SetProb(i, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return h
+}
+
+// BenchmarkMCSampleEfficiency measures how many Monte Carlo worlds each
+// sampling strategy needs to estimate the Figure 4 Δ-discrepancy
+// (E[cc(G)] - E[cc(G̃)]) to a 5% relative standard error:
+//
+//   - fixed: the status-quo fixed-budget estimator. A pilot run measures
+//     the achieved RSE, from which the budget a fixed-N user would have to
+//     provision follows as N_req = N_pilot * (rse/target)^2.
+//   - adaptive: sequential stopping with independent two-sample draws —
+//     the samples the closed loop actually consumed.
+//   - adaptive-crn: sequential stopping with coupled draws (common random
+//     numbers across G and G̃), collapsing the difference's variance.
+//
+// The per-arm counts land in BENCH_mc.json via the samples_to_target_rse
+// metric; scripts/check.sh gates the fixed vs adaptive-crn ratio at >= 5x.
+func BenchmarkMCSampleEfficiency(b *testing.B) {
+	const (
+		targetRSE = 0.05
+		pilotN    = 1024
+		capN      = 1 << 16
+	)
+	cfg := benchConfig()
+	base, err := cfg.BuildDataset(cfg.Datasets()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	pert := perturbDown(b, base, 0.01)
+
+	b.Run("fixed", func(b *testing.B) {
+		o := obs.NewObserver()
+		est := reliability.Estimator{Samples: pilotN, Seed: 42, Obs: o}
+		var needed float64
+		for i := 0; i < b.N; i++ {
+			if _, err := est.DeltaExpectedConnectedPairs(base, pert); err != nil {
+				b.Fatal(err)
+			}
+			rse := o.Registry().Snapshot().Gauges["mc.quality.DeltaExpectedConnectedPairs.last_rse"]
+			needed = pilotN * (rse / targetRSE) * (rse / targetRSE)
+		}
+		b.ReportMetric(needed, "samples_to_target_rse")
+	})
+	for _, arm := range []struct {
+		name string
+		mode uncertain.SamplingMode
+	}{
+		{"adaptive", uncertain.SampleIndependent},
+		{"adaptive-crn", uncertain.SampleCoupled},
+	} {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			o := obs.NewObserver()
+			est := reliability.Estimator{
+				Seed: 42, Obs: o, Mode: arm.mode,
+				TargetRSE: targetRSE, MaxSamples: capN,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := est.DeltaExpectedConnectedPairs(base, pert); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(o.Registry().Snapshot().Gauges["mc.adaptive.last_samples"], "samples_to_target_rse")
+		})
+	}
+}
+
 func BenchmarkAnonymizeRSME(b *testing.B) {
 	g := benchGraph(b)
 	b.ResetTimer()

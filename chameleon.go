@@ -131,6 +131,17 @@ type Options struct {
 	Seed uint64
 	// Workers caps parallelism (0 = all cores).
 	Workers int
+	// SamplingMode selects the Monte Carlo world-drawing strategy:
+	// "independent" (default), "antithetic", "stratified" or "coupled".
+	// See DESIGN.md §12 for when each wins.
+	SamplingMode string
+	// TargetRSE, when positive, switches reliability estimation to
+	// adaptive sequential stopping: sampling continues in chunks until the
+	// relative standard error of the running estimate drops below this
+	// target (or MaxSamples is hit). Samples is then ignored.
+	TargetRSE float64
+	// MaxSamples caps adaptive sampling (0 = a package default).
+	MaxSamples int
 	// Attempts is the number of randomized trials per noise level
 	// (default 5).
 	Attempts int
@@ -185,13 +196,20 @@ type Result struct {
 // (epsilon_tilde, ok, injected_edges) and wall time.
 func (r *Result) Trace() *Trace { return r.trace }
 
-func (o Options) coreParams() core.Params {
+func (o Options) coreParams() (core.Params, error) {
+	mode, err := uncertain.ParseSamplingMode(o.SamplingMode)
+	if err != nil {
+		return core.Params{}, fmt.Errorf("chameleon: %w", err)
+	}
 	return core.Params{
 		K:               o.K,
 		Epsilon:         o.Epsilon,
 		Samples:         o.Samples,
 		Seed:            o.Seed,
 		Workers:         o.Workers,
+		SamplingMode:    mode,
+		TargetRSE:       o.TargetRSE,
+		MaxSamples:      o.MaxSamples,
 		Attempts:        o.Attempts,
 		SizeMultiplier:  o.SizeMultiplier,
 		WhiteNoise:      o.WhiteNoise,
@@ -199,7 +217,7 @@ func (o Options) coreParams() core.Params {
 		CheckpointPath:  o.CheckpointPath,
 		CheckpointEvery: o.CheckpointEvery,
 		Resume:          o.Resume,
-	}
+	}, nil
 }
 
 // Anonymize publishes g under (K, Epsilon)-obfuscation with the selected
@@ -224,11 +242,11 @@ func AnonymizeContext(ctx context.Context, g *Graph, o Options) (*Result, error)
 	if o.Method == "" {
 		o.Method = MethodRSME
 	}
-	p := o.coreParams()
-	var (
-		res *core.Result
-		err error
-	)
+	p, err := o.coreParams()
+	if err != nil {
+		return nil, err
+	}
+	var res *core.Result
 	switch o.Method {
 	case MethodRSME:
 		p.Variant = core.RSME
@@ -286,6 +304,16 @@ type UtilityOptions struct {
 	Seed uint64
 	// Workers caps parallelism.
 	Workers int
+	// SamplingMode selects the world-drawing strategy for reliability
+	// estimation: "independent" (default), "antithetic", "stratified" or
+	// "coupled". "coupled" uses common random numbers across the two
+	// graphs, collapsing the variance of the discrepancy estimate.
+	SamplingMode string
+	// TargetRSE, when positive, enables adaptive sequential stopping for
+	// the reliability estimators (see Options.TargetRSE).
+	TargetRSE float64
+	// MaxSamples caps adaptive sampling (0 = a package default).
+	MaxSamples int
 }
 
 // UtilityReport compares a published graph to the original across the
@@ -310,9 +338,17 @@ func EvaluateUtility(orig, pub *Graph, o UtilityOptions) (UtilityReport, error) 
 	if o.MetricSamples <= 0 {
 		o.MetricSamples = 50
 	}
+	mode, err := uncertain.ParseSamplingMode(o.SamplingMode)
+	if err != nil {
+		return UtilityReport{}, fmt.Errorf("chameleon: %w", err)
+	}
 	// The per-call label cache lets the discrepancy estimate and its
 	// normalization term share one sampling pass over orig.
-	est := reliability.Estimator{Samples: o.Samples, Seed: o.Seed, Workers: o.Workers, Cache: reliability.NewLabelCache()}
+	est := reliability.Estimator{
+		Samples: o.Samples, Seed: o.Seed, Workers: o.Workers,
+		Cache: reliability.NewLabelCache(), Mode: mode,
+		TargetRSE: o.TargetRSE, MaxSamples: o.MaxSamples,
+	}
 	rel, err := est.RelativeDiscrepancy(orig, pub, reliability.PairSample{Pairs: o.Pairs, Seed: o.Seed + 1})
 	if err != nil {
 		return UtilityReport{}, err

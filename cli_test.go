@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"chameleon/internal/core"
 	"chameleon/internal/obs"
 	"chameleon/internal/obs/journal"
 )
@@ -565,8 +566,8 @@ func TestCLIInterrupt(t *testing.T) {
 		if err := json.Unmarshal(data, &ck); err != nil {
 			t.Fatalf("checkpoint is not valid JSON: %v", err)
 		}
-		if ck.Version != 1 || ck.Phase == "" || ck.GenObfCalls < 1 {
-			t.Fatalf("checkpoint = %+v, want version 1 with search progress", ck)
+		if ck.Version != core.CheckpointVersion || ck.Phase == "" || ck.GenObfCalls < 1 {
+			t.Fatalf("checkpoint = %+v, want version %d with search progress", ck, core.CheckpointVersion)
 		}
 
 		if out, err := exec.Command(bins["chameleon"], append(anonArgs,

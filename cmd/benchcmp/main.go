@@ -1,12 +1,20 @@
 // Command benchcmp compares two benchmark-artifact JSON files (the
-// BENCH_obs.json / BENCH_reliability.json schema written by
-// scripts/check.sh: an array of {name, ns_per_op, allocs_per_op,
-// iterations} records) and fails when any benchmark present in both got
-// slower than the allowed budget.
+// BENCH_obs.json / BENCH_reliability.json / BENCH_mc.json schema written
+// by scripts/check.sh: an array of {name, ns_per_op, allocs_per_op,
+// iterations, samples_to_target_rse?} records) and fails when any
+// benchmark present in both got slower than the allowed budget.
 //
 // Usage:
 //
-//	benchcmp [-max-slowdown 25] baseline.json current.json
+//	benchcmp [-max-slowdown 25] [-skip-ns] baseline.json current.json
+//
+// Two quantities are gated against the same percentage budget: ns_per_op
+// (unless -skip-ns) and, where present in both files, the
+// samples_to_target_rse sample-efficiency metric — a variance-reduction
+// regression shows up there long before it moves wall time. -skip-ns
+// exists for artifacts like BENCH_mc.json whose gated quantity is the
+// sample count: their wall time is dominated by the sample count itself,
+// so gating both would double-count the noise.
 //
 // Exit status 1 means at least one regression beyond the budget;
 // benchmarks present in only one file are reported but never fail the
@@ -26,10 +34,15 @@ type entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
+	// SamplesToTargetRSE is the Monte Carlo sample-efficiency metric of
+	// the adaptive-sampling benchmarks: worlds needed to reach the target
+	// relative standard error. Zero when the benchmark does not report it.
+	SamplesToTargetRSE float64 `json:"samples_to_target_rse,omitempty"`
 }
 
 func main() {
-	maxSlowdown := flag.Float64("max-slowdown", 25, "fail when ns_per_op grows more than this percentage")
+	maxSlowdown := flag.Float64("max-slowdown", 25, "fail when a gated metric grows more than this percentage")
+	skipNs := flag.Bool("skip-ns", false, "do not gate ns_per_op (for sample-efficiency artifacts where wall time is a function of the gated sample count)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "benchcmp: want exactly two arguments: baseline.json current.json")
@@ -46,26 +59,32 @@ func main() {
 	seen := map[string]bool{}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "BENCHMARK\tBASE ns/op\tNOW ns/op\tDELTA\t")
+	fmt.Fprintln(tw, "BENCHMARK\tBASE ns/op\tNOW ns/op\tDELTA\tSAMPLES\t")
 	regressions := 0
 	for _, e := range cur {
 		b, ok := baseByName[e.Name]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", e.Name, e.NsPerOp)
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t%s\t\n", e.Name, e.NsPerOp, samplesCell(entry{}, e))
 			continue
 		}
 		seen[e.Name] = true
 		if b.NsPerOp <= 0 {
-			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t(zero baseline)\t\n", e.Name, b.NsPerOp, e.NsPerOp)
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t(zero baseline)\t%s\t\n", e.Name, b.NsPerOp, e.NsPerOp, samplesCell(b, e))
 			continue
 		}
 		pct := 100 * (e.NsPerOp - b.NsPerOp) / b.NsPerOp
 		mark := ""
-		if pct > *maxSlowdown {
+		if !*skipNs && pct > *maxSlowdown {
 			mark = "REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", e.Name, b.NsPerOp, e.NsPerOp, pct, mark)
+		if b.SamplesToTargetRSE > 0 && e.SamplesToTargetRSE > 0 {
+			if 100*(e.SamplesToTargetRSE-b.SamplesToTargetRSE)/b.SamplesToTargetRSE > *maxSlowdown {
+				mark = "REGRESSION (samples)"
+				regressions++
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\n", e.Name, b.NsPerOp, e.NsPerOp, pct, samplesCell(b, e), mark)
 	}
 	for _, b := range base {
 		if !seen[b.Name] {
@@ -77,7 +96,7 @@ func main() {
 				}
 			}
 			if !found {
-				fmt.Fprintf(tw, "%s\t%.0f\t-\tretired\t\n", b.Name, b.NsPerOp)
+				fmt.Fprintf(tw, "%s\t%.0f\t-\tretired\t\t\n", b.Name, b.NsPerOp)
 			}
 		}
 	}
@@ -87,6 +106,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed more than %.0f%%\n", regressions, *maxSlowdown)
 		os.Exit(1)
 	}
+}
+
+// samplesCell renders the sample-efficiency column: "base->now" when both
+// sides report the metric, the single value when only one does, empty
+// otherwise.
+func samplesCell(b, e entry) string {
+	switch {
+	case b.SamplesToTargetRSE > 0 && e.SamplesToTargetRSE > 0:
+		return fmt.Sprintf("%.0f->%.0f", b.SamplesToTargetRSE, e.SamplesToTargetRSE)
+	case e.SamplesToTargetRSE > 0:
+		return fmt.Sprintf("%.0f", e.SamplesToTargetRSE)
+	case b.SamplesToTargetRSE > 0:
+		return fmt.Sprintf("%.0f->-", b.SamplesToTargetRSE)
+	}
+	return ""
 }
 
 func load(path string) []entry {

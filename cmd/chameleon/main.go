@@ -45,6 +45,9 @@ func main() {
 		eps       = flag.Float64("eps", 0.01, "tolerance epsilon (fraction of vertices allowed to stay exposed)")
 		method    = flag.String("method", "RSME", "method: RSME | RS | ME | Rep-An")
 		samples   = flag.Int("samples", 1000, "Monte Carlo samples for reliability relevance")
+		smpMode   = flag.String("sampling-mode", "independent", "world sampling strategy: independent | antithetic | stratified | coupled")
+		targetRSE = flag.Float64("target-rse", 0, "adaptive stopping: sample until the relative standard error falls below this target (0 = fixed -samples budget)")
+		maxSmp    = flag.Int("max-samples", 0, "cap on adaptive sampling (0 = package default; requires -target-rse)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
 		binaryF   = flag.Bool("binary", false, "write the compact binary format instead of TSV")
@@ -89,6 +92,7 @@ func main() {
 		err = run(env, obs, runFlags{
 			in: *in, out: *out, k: *k, eps: *eps, method: *method,
 			samples: *samples, seed: *seed, workers: *workers,
+			samplingMode: *smpMode, targetRSE: *targetRSE, maxSamples: *maxSmp,
 			binary: *binaryF, quiet: *quiet, stats: *stats,
 			ckptPath: *ckptPath, ckptEvery: *ckptEvery, resumeAt: *resumeAt,
 		})
@@ -109,6 +113,9 @@ func main() {
 type runFlags struct {
 	in, out, method, stats string
 	k, samples, workers    int
+	samplingMode           string
+	targetRSE              float64
+	maxSamples             int
 	eps                    float64
 	seed                   uint64
 	binary, quiet          bool
@@ -148,6 +155,9 @@ func run(env *runner.Env, obs *chameleon.Observer, f runFlags) error {
 		Samples:         f.samples,
 		Seed:            f.seed,
 		Workers:         f.workers,
+		SamplingMode:    f.samplingMode,
+		TargetRSE:       f.targetRSE,
+		MaxSamples:      f.maxSamples,
 		Observer:        obs,
 		CheckpointPath:  ckptPath,
 		CheckpointEvery: f.ckptEvery,

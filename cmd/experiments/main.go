@@ -34,6 +34,7 @@ import (
 	"chameleon/internal/exp"
 	"chameleon/internal/obs"
 	"chameleon/internal/obs/traceout"
+	"chameleon/internal/uncertain"
 )
 
 func main() {
@@ -41,6 +42,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "miniature datasets and reduced sampling budgets")
 		runSel   = flag.String("run", "all", "comma-separated artifacts: tableI,tableII,fig3,fig4,fig8,fig9,fig10,fig11,attack,knn,dp,centrality,timing,ablations,all")
 		samples  = flag.Int("samples", 0, "override reliability sample budget")
+		smpMode  = flag.String("sampling-mode", "independent", "world sampling strategy: independent | antithetic | stratified | coupled")
+		tgtRSE   = flag.Float64("target-rse", 0, "adaptive stopping: sample until the relative standard error falls below this target (0 = fixed budget)")
+		maxSmp   = flag.Int("max-samples", 0, "cap on adaptive sampling (0 = package default; requires -target-rse)")
 		seed     = flag.Uint64("seed", 7, "random seed")
 		csvPath  = flag.String("csv", "", "write the raw sweep grid as CSV")
 		workers  = flag.Int("workers", 0, "Monte Carlo sampling parallelism (0 = all cores)")
@@ -77,8 +81,13 @@ func main() {
 		if err != nil {
 			return err
 		}
+		mode, err := uncertain.ParseSamplingMode(*smpMode)
+		if err != nil {
+			return err
+		}
 		cfg := exp.Config{
 			Quick: *quick, Samples: *samples, Seed: *seed,
+			SamplingMode: mode, TargetRSE: *tgtRSE, MaxSamples: *maxSmp,
 			Workers: *workers, Obs: observer, Ctx: env.Ctx,
 		}
 		if *ckptPath != "" {

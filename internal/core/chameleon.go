@@ -227,7 +227,7 @@ func newSearchState(ctx context.Context, g *uncertain.Graph, p Params) (*searchS
 
 	var vrr []float64
 	if p.Variant.reliabilitySensitive() {
-		est := reliability.Estimator{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers, Obs: p.Obs, Cache: p.Cache, Ctx: ctx}
+		est := p.estimator(ctx)
 		edgeRel := est.EdgeRelevance(g)
 		vrr = reliability.NormalizeToUnit(reliability.VertexRelevance(g, edgeRel))
 	} else {

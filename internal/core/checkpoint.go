@@ -15,7 +15,16 @@ import (
 // CheckpointVersion is the on-disk checkpoint format version. Loading a
 // checkpoint written by a different version fails loudly rather than
 // resuming from state with unknown semantics.
-const CheckpointVersion = 1
+//
+// Version history:
+//
+//	1 — initial resumable σ-search snapshot.
+//	2 — sampling tuple echoed (sampling_mode, target_rse, max_samples):
+//	    the mode and adaptive stopping configuration change every Monte
+//	    Carlo estimate of the search, so resuming under a different tuple
+//	    would silently change the trajectory. v1 files predate the tuple
+//	    and are rejected rather than guessed at.
+const CheckpointVersion = 2
 
 // Search phase names as persisted in checkpoints.
 const (
@@ -63,6 +72,9 @@ type Checkpoint struct {
 	WhiteNoise     float64 `json:"white_noise"`
 	Attempts       int     `json:"attempts"`
 	Samples        int     `json:"samples"`
+	SamplingMode   string  `json:"sampling_mode"`
+	TargetRSE      float64 `json:"target_rse"`
+	MaxSamples     int     `json:"max_samples"`
 	Seed           uint64  `json:"seed"`
 	SigmaTolerance float64 `json:"sigma_tolerance"`
 	MaxDoublings   int     `json:"max_doublings"`
@@ -143,6 +155,12 @@ func (ck *Checkpoint) validateAgainst(g *uncertain.Graph, p Params) error {
 		return mismatch("attempts", ck.Attempts, p.Attempts)
 	case ck.Samples != p.Samples:
 		return mismatch("samples", ck.Samples, p.Samples)
+	case ck.SamplingMode != p.SamplingMode.String():
+		return mismatch("sampling mode", ck.SamplingMode, p.SamplingMode.String())
+	case ck.TargetRSE != p.TargetRSE:
+		return mismatch("target rse", ck.TargetRSE, p.TargetRSE)
+	case ck.MaxSamples != p.MaxSamples:
+		return mismatch("max samples", ck.MaxSamples, p.MaxSamples)
 	case ck.Seed != p.Seed:
 		return mismatch("seed", ck.Seed, p.Seed)
 	case ck.SigmaTolerance != p.SigmaTolerance:
@@ -225,6 +243,9 @@ func (st *searchState) checkpoint(cur *searchCursor, res *Result) (*Checkpoint, 
 		WhiteNoise:     p.WhiteNoise,
 		Attempts:       p.Attempts,
 		Samples:        p.Samples,
+		SamplingMode:   p.SamplingMode.String(),
+		TargetRSE:      p.TargetRSE,
+		MaxSamples:     p.MaxSamples,
 		Seed:           p.Seed,
 		SigmaTolerance: p.SigmaTolerance,
 		MaxDoublings:   p.MaxDoublings,

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -82,6 +83,18 @@ type Params struct {
 	// Samples is the Monte Carlo budget for reliability-relevance
 	// estimation; default reliability.DefaultSamples.
 	Samples int
+	// SamplingMode selects the world-drawing strategy of the run's
+	// reliability estimators (default independent; see
+	// uncertain.SamplingMode for the antithetic / stratified / coupled
+	// variance-reduction trade-offs).
+	SamplingMode uncertain.SamplingMode
+	// TargetRSE, when positive, switches the run's estimators to adaptive
+	// sequential stopping at the given relative standard error, with
+	// MaxSamples as the hard cap. See reliability.Estimator.
+	TargetRSE float64
+	// MaxSamples caps adaptive sampling; 0 = reliability.DefaultMaxSamples.
+	// Ignored without TargetRSE.
+	MaxSamples int
 	// Workers caps sampling parallelism; 0 = GOMAXPROCS.
 	Workers int
 	// Seed makes the run reproducible.
@@ -137,6 +150,17 @@ type Params struct {
 	// sweep-wide ETA and the search leaves run.eta_seconds alone.
 	ProgressBase float64
 	ProgressSpan float64
+}
+
+// estimator builds the run's reliability estimator, threading the full
+// sampling tuple (budget, seed, mode, adaptive target/cap) so every Monte
+// Carlo pass of the search draws from the same configuration.
+func (p Params) estimator(ctx context.Context) reliability.Estimator {
+	return reliability.Estimator{
+		Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
+		Obs: p.Obs, Cache: p.Cache, Mode: p.SamplingMode,
+		TargetRSE: p.TargetRSE, MaxSamples: p.MaxSamples, Ctx: ctx,
+	}
 }
 
 func (p Params) withDefaults() Params {

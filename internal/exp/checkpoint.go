@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"chameleon/internal/atomicfile"
+	"chameleon/internal/uncertain"
 )
 
 // CellStoreVersion is the on-disk sweep-checkpoint format version.
@@ -17,13 +18,19 @@ const CellStoreVersion = 1
 // to reject resumption under a different configuration, plus the finished
 // cells keyed by "dataset/method/k<paperK>".
 type cellStoreFile struct {
-	Version       int            `json:"version"`
-	Seed          uint64         `json:"seed"`
-	Samples       int            `json:"samples"`
-	MetricSamples int            `json:"metric_samples"`
-	Pairs         int            `json:"pairs"`
-	Quick         bool           `json:"quick"`
-	Cells         map[string]Run `json:"cells"`
+	Version       int    `json:"version"`
+	Seed          uint64 `json:"seed"`
+	Samples       int    `json:"samples"`
+	MetricSamples int    `json:"metric_samples"`
+	Pairs         int    `json:"pairs"`
+	Quick         bool   `json:"quick"`
+	// Sampling tuple (ISSUE 7). Older files carry the zero values, which
+	// decode as (independent, fixed budget) — exactly how they were
+	// produced — so no version bump is needed.
+	SamplingMode string         `json:"sampling_mode,omitempty"`
+	TargetRSE    float64        `json:"target_rse,omitempty"`
+	MaxSamples   int            `json:"max_samples,omitempty"`
+	Cells        map[string]Run `json:"cells"`
 }
 
 // CellStore checkpoints an evaluation sweep at cell granularity. Every
@@ -56,6 +63,9 @@ func OpenCellStore(path string, c Config) (*CellStore, error) {
 		MetricSamples: c.MetricSamples,
 		Pairs:         c.Pairs,
 		Quick:         c.Quick,
+		SamplingMode:  samplingModeEcho(c.SamplingMode),
+		TargetRSE:     c.TargetRSE,
+		MaxSamples:    c.MaxSamples,
 		Cells:         make(map[string]Run),
 	}
 	s := &CellStore{path: path, file: want}
@@ -75,14 +85,25 @@ func OpenCellStore(path string, c Config) (*CellStore, error) {
 	}
 	if got.Seed != want.Seed || got.Samples != want.Samples ||
 		got.MetricSamples != want.MetricSamples || got.Pairs != want.Pairs ||
-		got.Quick != want.Quick {
-		return nil, fmt.Errorf("exp: sweep checkpoint %s was written under a different configuration (seed/samples/pairs/quick mismatch)", path)
+		got.Quick != want.Quick || got.SamplingMode != want.SamplingMode ||
+		got.TargetRSE != want.TargetRSE || got.MaxSamples != want.MaxSamples {
+		return nil, fmt.Errorf("exp: sweep checkpoint %s was written under a different configuration (seed/samples/pairs/quick/sampling mismatch)", path)
 	}
 	if got.Cells == nil {
 		got.Cells = make(map[string]Run)
 	}
 	s.file = got
 	return s, nil
+}
+
+// samplingModeEcho renders the mode for the config echo: the default
+// independent mode echoes as "", so checkpoints written before the field
+// existed (which decode it as "") compare equal to a default-mode run.
+func samplingModeEcho(m uncertain.SamplingMode) string {
+	if m == uncertain.SampleIndependent {
+		return ""
+	}
+	return m.String()
 }
 
 func cellKey(dataset, method string, paperK int) string {

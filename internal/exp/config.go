@@ -8,6 +8,7 @@ import (
 	"context"
 	"math/rand/v2"
 
+	"chameleon/internal/core"
 	"chameleon/internal/gen"
 	"chameleon/internal/obs"
 	"chameleon/internal/reliability"
@@ -30,6 +31,16 @@ type Config struct {
 	PaperKs []int
 	// Seed drives all randomness.
 	Seed uint64
+	// SamplingMode selects the world-drawing strategy for every reliability
+	// estimator of the run (independent/antithetic/stratified/coupled; see
+	// uncertain.SamplingMode).
+	SamplingMode uncertain.SamplingMode
+	// TargetRSE, when positive, switches the run's estimators to adaptive
+	// sequential stopping at the given relative standard error (the fixed
+	// Samples budget then becomes irrelevant; MaxSamples caps the draw).
+	TargetRSE float64
+	// MaxSamples caps adaptive sampling; 0 = reliability.DefaultMaxSamples.
+	MaxSamples int
 	// Workers caps parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Quick switches to miniature datasets and reduced budgets; used by
@@ -95,6 +106,31 @@ func (c Config) withDefaults() Config {
 		c.PaperKs = []int{100, 150, 200, 250, 300}
 	}
 	return c
+}
+
+// estimator builds a reliability estimator carrying the run's full
+// sampling tuple (mode, adaptive target/cap). samples <= 0 means the
+// configured budget; seedOff preserves each call site's historical seed
+// offset so existing fixed-N runs replay unchanged.
+func (c Config) estimator(samples int, seedOff uint64) reliability.Estimator {
+	if samples <= 0 {
+		samples = c.Samples
+	}
+	return reliability.Estimator{
+		Samples: samples, Seed: c.Seed + seedOff, Workers: c.Workers,
+		Obs: c.Obs, Cache: c.cache, Mode: c.SamplingMode,
+		TargetRSE: c.TargetRSE, MaxSamples: c.MaxSamples, Ctx: c.Ctx,
+	}
+}
+
+// withSampling threads the run's sampling tuple into a σ-search parameter
+// set, so the searches inside sweep cells sample the same way the
+// evaluation estimators do.
+func (c Config) withSampling(p core.Params) core.Params {
+	p.SamplingMode = c.SamplingMode
+	p.TargetRSE = c.TargetRSE
+	p.MaxSamples = c.MaxSamples
+	return p
 }
 
 // ctx returns the run's cancellation context, Background when unset.

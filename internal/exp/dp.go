@@ -37,7 +37,7 @@ type DPRow struct {
 func (c Config) DPComparison() ([]DPRow, error) {
 	c = c.withDefaults()
 	paperK := c.PaperKs[len(c.PaperKs)/2]
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 21, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
+	est := c.estimator(0, 21)
 	ps := reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 22}
 	var rows []DPRow
 	for _, d := range c.Datasets() {
@@ -49,10 +49,10 @@ func (c Config) DPComparison() ([]DPRow, error) {
 			return nil, err
 		}
 		// Chameleon RSME.
-		params := core.Params{
+		params := c.withSampling(core.Params{
 			K: d.KScale(paperK), Epsilon: d.Epsilon, Samples: c.Samples,
 			Seed: c.Seed, Workers: c.Workers, Attempts: 8, MaxDoublings: 10,
-		}
+		})
 		res, err := core.AnonymizeContext(c.ctx(), g, params)
 		if err != nil {
 			if cerr := c.ctx().Err(); cerr != nil {

@@ -36,7 +36,7 @@ func (c Config) EpsilonSweep(multipliers []float64) ([]EpsilonRow, error) {
 	}
 	paperK := c.PaperKs[len(c.PaperKs)/2]
 	k := d.KScale(paperK)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 51, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
+	est := c.estimator(0, 51)
 	var rows []EpsilonRow
 	for _, mult := range multipliers {
 		if err := c.ctx().Err(); err != nil {
@@ -46,10 +46,10 @@ func (c Config) EpsilonSweep(multipliers []float64) ([]EpsilonRow, error) {
 		if eps >= 1 {
 			eps = 0.99
 		}
-		params := core.Params{
+		params := c.withSampling(core.Params{
 			K: k, Epsilon: eps, Samples: c.Samples,
 			Seed: c.Seed, Workers: c.Workers, Attempts: 8, MaxDoublings: 10,
-		}
+		})
 		res, err := core.AnonymizeContext(c.ctx(), g, params)
 		if err != nil {
 			if cerr := c.ctx().Err(); cerr != nil {

@@ -52,11 +52,11 @@ func (c Config) AttackExperiment() ([]AttackRow, error) {
 			TopKRate: base.TopKRate, MeanRank: base.MeanRank,
 		})
 		for _, method := range Methods {
-			params := core.Params{
+			params := c.withSampling(core.Params{
 				K: k, Epsilon: d.Epsilon, Samples: c.Samples,
 				Seed: c.Seed ^ hashName(method), Workers: c.Workers,
 				Attempts: 8, MaxDoublings: 10,
-			}
+			})
 			res, err := anonymizeWith(c.ctx(), method, g, params)
 			if err != nil {
 				if cerr := c.ctx().Err(); cerr != nil {
@@ -112,7 +112,7 @@ type KNNRow struct {
 func (c Config) KNNExperiment() ([]KNNRow, error) {
 	c = c.withDefaults()
 	paperK := c.PaperKs[len(c.PaperKs)/2]
-	est := reliability.Estimator{Samples: c.Samples / 2, Seed: c.Seed + 77, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
+	est := c.estimator(c.Samples/2, 77)
 	opts := knn.PreservationOptions{K: 10, Queries: 20, Seed: c.Seed + 78}
 	var rows []KNNRow
 	for _, d := range c.Datasets() {
@@ -125,11 +125,11 @@ func (c Config) KNNExperiment() ([]KNNRow, error) {
 		}
 		k := d.KScale(paperK)
 		for _, method := range Methods {
-			params := core.Params{
+			params := c.withSampling(core.Params{
 				K: k, Epsilon: d.Epsilon, Samples: c.Samples,
 				Seed: c.Seed ^ hashName(method), Workers: c.Workers,
 				Attempts: 8, MaxDoublings: 10,
-			}
+			})
 			res, err := anonymizeWith(c.ctx(), method, g, params)
 			if err != nil {
 				if cerr := c.ctx().Err(); cerr != nil {
@@ -194,17 +194,17 @@ func (c Config) CSweepAblation(multipliers []float64) ([]CSweepRow, error) {
 	}
 	paperK := c.PaperKs[len(c.PaperKs)-1]
 	k := d.KScale(paperK)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
+	est := c.estimator(0, 7)
 	var rows []CSweepRow
 	for _, mult := range multipliers {
 		if err := c.ctx().Err(); err != nil {
 			return rows, err
 		}
-		params := core.Params{
+		params := c.withSampling(core.Params{
 			K: k, Epsilon: d.Epsilon, Samples: c.Samples,
 			Seed: c.Seed, Workers: c.Workers, SizeMultiplier: mult,
 			Attempts: 8, MaxDoublings: 10,
-		}
+		})
 		res, err := core.AnonymizeContext(c.ctx(), g, params)
 		if err != nil {
 			if cerr := c.ctx().Err(); cerr != nil {

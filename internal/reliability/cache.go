@@ -1,6 +1,7 @@
 package reliability
 
 import (
+	"math"
 	"sync"
 
 	"chameleon/internal/uncertain"
@@ -8,39 +9,50 @@ import (
 
 // labelKey identifies one immutable Monte Carlo labeling: the graph
 // snapshot (pointer identity plus mutation version, so in-place edits
-// invalidate) and everything that determines the drawn worlds (sample
-// count, seed, sampling mode). Workers does not participate: the worlds
-// and labels are identical however sampling is scheduled.
+// invalidate) and everything that determines the drawn worlds — the full
+// sampling-mode tuple (mode, fast path, seed, fixed budget, and the
+// adaptive target/cap, which together determine the effective sample count
+// since the stopping rule is a deterministic function of the drawn
+// stream). Workers does not participate: the worlds, labels and stopping
+// point are identical however sampling is scheduled.
 type labelKey struct {
-	g       *uncertain.Graph
-	version uint64
-	samples int
-	seed    uint64
-	fast    bool
+	g          *uncertain.Graph
+	version    uint64
+	samples    int
+	seed       uint64
+	fast       bool
+	mode       uncertain.SamplingMode
+	targetRSE  uint64 // math.Float64bits of TargetRSE (0 = fixed budget)
+	maxSamples int    // adaptive cap; 0 outside adaptive mode
 }
 
 // labelSet is a transposed component-label matrix over N sampled worlds:
-// lab[v*samples+s] is vertex v's component representative in world s, so
+// lab[v*stride+s] is vertex v's component representative in world s, so
 // one vertex's labels across all worlds are contiguous — the layout the
 // discrepancy pair loop streams over. cc[s] is world s's connected-pair
 // count, carried alongside so discrepancy and expected-connectivity calls
-// share one sampling pass.
+// share one sampling pass. stride is the allocated row width (the sampling
+// budget); samples <= stride is the count that actually fed the estimate —
+// adaptive runs truncate to the stopping point without reshaping the
+// matrix.
 type labelSet struct {
 	n       int
 	samples int
+	stride  int
 	lab     []int32
 	cc      []int64
 }
 
-// row returns vertex v's labels across all sampled worlds.
+// row returns vertex v's labels across the counted sampled worlds.
 func (ls *labelSet) row(v int) []int32 {
-	return ls.lab[v*ls.samples : (v+1)*ls.samples]
+	return ls.lab[v*ls.stride : v*ls.stride+ls.samples]
 }
 
 // grow resizes the matrix for n vertices and `samples` worlds, reusing
-// capacity. Every cell is overwritten by the sampling pass, so no zeroing.
+// capacity. Every counted cell is overwritten by the sampling pass, so no
+// zeroing.
 func (ls *labelSet) grow(n, samples int) {
-	ls.n, ls.samples = n, samples
+	ls.n, ls.samples, ls.stride = n, samples, samples
 	if need := n * samples; cap(ls.lab) < need {
 		ls.lab = make([]int32, need)
 	} else {
@@ -50,6 +62,16 @@ func (ls *labelSet) grow(n, samples int) {
 		ls.cc = make([]int64, samples)
 	} else {
 		ls.cc = ls.cc[:samples]
+	}
+}
+
+// truncate narrows the counted world range to the adaptive stopping point:
+// rows keep their allocated stride, but row() and cc expose only the
+// contiguous prefix the stopping rule accepted.
+func (ls *labelSet) truncate(worlds int) {
+	if worlds < ls.samples {
+		ls.samples = worlds
+		ls.cc = ls.cc[:worlds]
 	}
 }
 
@@ -136,7 +158,13 @@ func (c *LabelCache) Len() int {
 }
 
 func (e Estimator) labelKeyFor(g *uncertain.Graph) labelKey {
-	return labelKey{g: g, version: g.Version(), samples: e.samples(), seed: e.Seed, fast: e.FastSampling}
+	k := labelKey{g: g, version: g.Version(), samples: e.samples(), seed: e.Seed,
+		fast: e.FastSampling, mode: e.Mode}
+	if e.adaptive() {
+		k.targetRSE = math.Float64bits(e.TargetRSE)
+		k.maxSamples = e.maxSamples()
+	}
+	return k
 }
 
 // cachedLabels returns the memoized label set for g under this estimator
@@ -162,7 +190,7 @@ func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
 		return ls
 	}
 	nv := g.NumNodes()
-	ns := e.samples()
+	ns := e.budget()
 	var ls *labelSet
 	if e.Cache == nil {
 		ls = labelSetPool.Get().(*labelSet)
@@ -170,7 +198,7 @@ func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
 		ls = new(labelSet)
 	}
 	ls.grow(nv, ns)
-	e.forEachSample(g, func(i int, sc *scratch) float64 {
+	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		d, pairs := sc.componentsPairs()
 		ls.cc[i] = pairs
 		lab := ls.lab
@@ -179,6 +207,9 @@ func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
 		}
 		return float64(pairs)
 	})
+	if e.adaptive() {
+		ls.truncate(e.effSamples(w))
+	}
 	if e.Cache != nil {
 		if e.cancelled() {
 			// A labeling cut short by cancellation holds uninitialized

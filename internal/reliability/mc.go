@@ -8,6 +8,7 @@ package reliability
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -23,17 +24,30 @@ import (
 // ("1000 usually suffices to achieve accuracy convergence" [30]).
 const DefaultSamples = 1000
 
+// DefaultMaxSamples caps adaptive sequential sampling when MaxSamples is
+// left zero: generous enough that well-behaved estimates converge long
+// before it, small enough that a pathological stream (near-zero mean)
+// cannot run away.
+const DefaultMaxSamples = 16384
+
 // sampleChunk is the unit of work handed to a worker: 64 consecutive
 // sample indices, matching one bitset word so chunk boundaries align with
 // word boundaries in any transposed layout, and coarse enough that the
 // atomic claim is negligible against the per-world sampling cost.
 const sampleChunk = 64
 
+// adaptiveMinSamples is the floor before the sequential stopping rule may
+// fire: below two chunks the Welford variance estimate is too noisy to
+// trust a relative-standard-error test (early small-sample flukes would
+// stop genuinely unconverged streams).
+const adaptiveMinSamples = 2 * sampleChunk
+
 // Estimator carries the Monte Carlo configuration shared by the
 // estimators in this package.
 type Estimator struct {
-	// Samples is the number of possible worlds drawn (N). Zero means
-	// DefaultSamples.
+	// Samples is the number of possible worlds drawn (N) in fixed-budget
+	// mode. Zero means DefaultSamples. With TargetRSE set it is ignored
+	// (the budget becomes MaxSamples).
 	Samples int
 	// Seed makes estimates reproducible. The same seed always draws the
 	// same worlds.
@@ -50,8 +64,25 @@ type Estimator struct {
 	// FastSampling switches world drawing to geometric-skip sampling of
 	// low-probability edge classes. Same world distribution, different
 	// world stream for a given seed: still deterministic, but estimates no
-	// longer replay bit-for-bit against the default sampler.
+	// longer replay bit-for-bit against the default sampler. It applies to
+	// the independent and antithetic modes; the hashed modes (stratified,
+	// coupled) have no stream to skip along and ignore it.
 	FastSampling bool
+	// Mode selects the world-drawing strategy (default
+	// uncertain.SampleIndependent). All modes share per-world marginals;
+	// the variance-reduced ones change how worlds relate to each other
+	// (antithetic, stratified) or to a second graph's worlds (coupled).
+	Mode uncertain.SamplingMode
+	// TargetRSE, when positive, switches the estimator to adaptive
+	// sequential stopping: worlds are drawn in sampleChunk-sized chunks
+	// until the per-world statistic's relative standard error drops to the
+	// target (or MaxSamples is reached). The effective sample count is then
+	// data-dependent; callers divide by the accumulator count rather than
+	// Samples. Zero keeps the fixed budget.
+	TargetRSE float64
+	// MaxSamples caps the adaptive mode's total draw. Zero means
+	// DefaultMaxSamples. Ignored without TargetRSE.
+	MaxSamples int
 	// Ctx, when non-nil, cancels sampling cooperatively: workers stop
 	// claiming chunks (and the serial loop stops drawing) at the next
 	// sampleChunk boundary once the context is done. A cancelled call
@@ -74,6 +105,41 @@ func (e Estimator) samples() int {
 		return DefaultSamples
 	}
 	return e.Samples
+}
+
+// adaptive reports whether sequential stopping is enabled.
+func (e Estimator) adaptive() bool { return e.TargetRSE > 0 }
+
+func (e Estimator) maxSamples() int {
+	if e.MaxSamples <= 0 {
+		return DefaultMaxSamples
+	}
+	return e.MaxSamples
+}
+
+// budget is the largest sample count a call may draw: the fixed N, or the
+// adaptive cap. Callers size per-world side arrays by it and truncate to
+// effSamples afterwards.
+func (e Estimator) budget() int {
+	if e.adaptive() {
+		return e.maxSamples()
+	}
+	return e.samples()
+}
+
+// effSamples is the number of worlds that actually fed the estimate: the
+// accumulator count in adaptive mode (the counted prefix is always
+// contiguous from index 0), the configured N otherwise. Clamped to >= 1 so
+// cancelled adaptive calls — whose results are discarded anyway — never
+// divide by zero.
+func (e Estimator) effSamples(w obs.Welford) int {
+	if e.adaptive() {
+		if n := int(w.Count()); n > 0 {
+			return n
+		}
+		return 1
+	}
+	return e.samples()
 }
 
 func (e Estimator) workers() int {
@@ -135,16 +201,82 @@ func (sc *scratch) componentsPairs() (*unionfind.DSU, int64) {
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
-// sampleFn selects the world-drawing kernel as a method expression (no
-// closure allocation). Call sites keep the returned variable
-// single-assignment: a reassigned variable captured by the worker
-// goroutines would be heap-allocated on every forEachSample call, even
-// down the serial path.
-func sampleFn(fast bool) func(*uncertain.WorldSampler, *uncertain.World, *rand.PCG) {
-	if fast {
-		return (*uncertain.WorldSampler).SampleIntoGeometric
+// drawFunc draws world i of the sampler into the scratch under the given
+// base seed. Every draw is keyed by the sample index alone — re-seeded
+// streams or stateless hashes — so indices can be drawn in any order by
+// any scheduling, which is what makes worker counts, chunked adaptive
+// stopping and checkpoint resume all produce identical worlds.
+type drawFunc func(seed uint64, s *uncertain.WorldSampler, sc *scratch, i int)
+
+func drawIndependent(seed uint64, s *uncertain.WorldSampler, sc *scratch, i int) {
+	sc.pcg.Seed(seed, uint64(i)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d)
+	s.SampleInto(&sc.world, &sc.pcg)
+}
+
+func drawIndependentGeom(seed uint64, s *uncertain.WorldSampler, sc *scratch, i int) {
+	sc.pcg.Seed(seed, uint64(i)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d)
+	s.SampleIntoGeometric(&sc.world, &sc.pcg)
+}
+
+// Antithetic pairing: indices 2j and 2j+1 re-seed the SAME stream (keyed
+// by the pair index j), the odd one drawing complemented uniforms. Pairs
+// never straddle chunk boundaries (sampleChunk is even), and each index
+// re-seeds from scratch, so scheduling cannot split or reorder a pair's
+// draws.
+func drawAntithetic(seed uint64, s *uncertain.WorldSampler, sc *scratch, i int) {
+	sc.pcg.Seed(seed, uint64(i>>1)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d)
+	s.SampleIntoAntithetic(&sc.world, &sc.pcg, i&1 == 1)
+}
+
+func drawAntitheticGeom(seed uint64, s *uncertain.WorldSampler, sc *scratch, i int) {
+	sc.pcg.Seed(seed, uint64(i>>1)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d)
+	s.SampleIntoGeometricAntithetic(&sc.world, &sc.pcg, i&1 == 1)
+}
+
+func drawStratified(seed uint64, s *uncertain.WorldSampler, sc *scratch, i int) {
+	s.SampleIntoStratified(&sc.world, seed, i)
+}
+
+func drawCoupled(seed uint64, s *uncertain.WorldSampler, sc *scratch, i int) {
+	s.SampleIntoCoupled(&sc.world, seed, i)
+}
+
+// drawFn selects the world-drawing kernel for the configured mode as a
+// package-level function (no closure allocation). Call sites keep the
+// returned variable single-assignment: a reassigned variable captured by
+// the worker goroutines would be heap-allocated on every forEachSample
+// call, even down the serial path.
+func (e Estimator) drawFn() drawFunc {
+	switch e.Mode {
+	case uncertain.SampleAntithetic:
+		if e.FastSampling {
+			return drawAntitheticGeom
+		}
+		return drawAntithetic
+	case uncertain.SampleStratified:
+		return drawStratified
+	case uncertain.SampleCoupled:
+		return drawCoupled
+	default:
+		if e.FastSampling {
+			return drawIndependentGeom
+		}
+		return drawIndependent
 	}
-	return (*uncertain.WorldSampler).SampleInto
+}
+
+// pairSeed is the seed a paired loop uses to draw the SECOND graph's
+// worlds. The hashed modes keep the base seed: index-aligned draws then
+// reuse the same uniform per edge-endpoint pair, which IS the
+// common-random-numbers coupling. The stream modes decorrelate the second
+// graph so the classical independent two-sample analysis applies.
+func (e Estimator) pairSeed() uint64 {
+	switch e.Mode {
+	case uncertain.SampleStratified, uncertain.SampleCoupled:
+		return e.Seed
+	default:
+		return e.Seed ^ 0x6c62272e07bb0142
+	}
 }
 
 // workerNames pre-renders the per-worker counter names so the sampling
@@ -163,7 +295,15 @@ func workerName(w int) string {
 	return fmt.Sprintf("mc.worker.%02d.samples", w)
 }
 
-// forEachSample runs fn(sampleIndex, scratch) for N sampled worlds of g,
+// stopRSE is the sequential stopping rule: enough samples for the variance
+// estimate to be trustworthy, and relative standard error at or below the
+// target. A zero-variance stream (constant statistic) stops at the floor —
+// its RelStdErr is exactly 0.
+func stopRSE(w obs.Welford, target float64) bool {
+	return w.Count() >= adaptiveMinSamples && w.RelStdErr() <= target
+}
+
+// forEachSample runs fn(sampleIndex, scratch) over sampled worlds of g,
 // fanning out over the configured workers. When fn is called, sc.world
 // holds world sampleIndex; fn may use sc.components() and must not retain
 // references into the scratch past its return. fn must be safe for
@@ -174,10 +314,12 @@ func workerName(w int) string {
 // accumulator — one per worker, merged once at the end — and returns the
 // merged state, from which callers derive the estimator's standard error
 // and confidence interval (see recordQuality). Callers with no meaningful
-// per-world statistic return 0 and drop the result. The estimates
-// themselves are never computed from the accumulator (its merge order is
-// scheduling-dependent in the parallel case); they keep their existing
-// deterministic reductions.
+// per-world statistic return 0 and drop the result. In fixed-budget mode
+// the estimates themselves are never computed from the accumulator (its
+// merge order is scheduling-dependent in the parallel case); they keep
+// their existing deterministic reductions. In adaptive mode (TargetRSE >
+// 0) the accumulator additionally DECIDES the sample count — see
+// forEachSampleAdaptive — and its count is the effective N.
 //
 // Work is handed out in chunks of sampleChunk consecutive indices claimed
 // off an atomic cursor, and each worker draws worlds into a pooled scratch,
@@ -194,10 +336,13 @@ func workerName(w int) string {
 // sample-balance invariant sum(mc.worker.*) == mc.worlds_sampled holds on
 // interrupted runs too.
 func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch) float64) obs.Welford {
+	if e.adaptive() {
+		return e.forEachSampleAdaptive(g, fn)
+	}
 	n := e.samples()
 	reg := e.Obs.Registry()
 	sampler := g.Sampler()
-	sample := sampleFn(e.FastSampling)
+	draw := e.drawFn()
 	workers := e.workers()
 	if workers > n {
 		workers = n
@@ -214,8 +359,7 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 			if i%sampleChunk == 0 && e.cancelled() {
 				break
 			}
-			sc.pcg.Seed(e.Seed, e.streamFor(i))
-			sample(sampler, &sc.world, &sc.pcg)
+			draw(e.Seed, sampler, sc, i)
 			stat.Add(fn(i, sc))
 		}
 		scratchPool.Put(sc)
@@ -245,8 +389,7 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 					end = n
 				}
 				for i := start; i < end; i++ {
-					sc.pcg.Seed(e.Seed, e.streamFor(i))
-					sample(sampler, &sc.world, &sc.pcg)
+					draw(e.Seed, sampler, sc, i)
 					local.Add(fn(i, sc))
 				}
 				drawn += int64(end - start)
@@ -264,6 +407,283 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 	return stat
 }
 
+// forEachSampleAdaptive is the sequential-stopping sampling loop: draw
+// chunks of sampleChunk worlds, fold each chunk into the running Welford
+// state IN CHUNK-INDEX ORDER, and stop at the first chunk boundary where
+// the prefix's relative standard error reaches TargetRSE (after the
+// adaptiveMinSamples floor), or at the MaxSamples cap.
+//
+// The stopping decision is a function of the chunk-order prefix alone, so
+// any worker count stops at the same boundary and returns the same
+// accumulator: the parallel path runs rounds of one chunk per worker with
+// a barrier, then merges that round's chunks in order, replaying exactly
+// the serial schedule. Workers may overdraw chunks past the stopping
+// boundary within the final round; those worlds are counted as drawn (the
+// sample-balance invariant reflects actual work) but excluded from the
+// accumulator, so the counted prefix is always contiguous — callers
+// truncate their per-world side arrays to the accumulator count.
+func (e Estimator) forEachSampleAdaptive(g *uncertain.Graph, fn func(i int, sc *scratch) float64) obs.Welford {
+	reg := e.Obs.Registry()
+	sampler := g.Sampler()
+	draw := e.drawFn()
+	maxS := e.maxSamples()
+	target := e.TargetRSE
+	workers := e.workers()
+	if maxChunks := (maxS + sampleChunk - 1) / sampleChunk; workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		// Stack accumulator and no closures: the serial adaptive loop keeps
+		// the steady-state zero-allocation property (guarded by
+		// TestAdaptiveLoopSteadyStateAllocs).
+		var stat obs.Welford
+		sc := scratchPool.Get().(*scratch)
+		drawn := 0
+		for drawn < maxS && !e.cancelled() {
+			end := drawn + sampleChunk
+			if end > maxS {
+				end = maxS
+			}
+			for i := drawn; i < end; i++ {
+				draw(e.Seed, sampler, sc, i)
+				stat.Add(fn(i, sc))
+			}
+			drawn = end
+			if stopRSE(stat, target) {
+				break
+			}
+		}
+		scratchPool.Put(sc)
+		reg.Counter("mc.worlds_sampled").Add(int64(drawn))
+		reg.Counter(workerName(0)).Add(int64(drawn))
+		e.recordAdaptive(stat, drawn)
+		return stat
+	}
+
+	var stat obs.Welford
+	var totalDrawn int64
+	partials := make([]obs.Welford, workers)
+	counts := make([]int, workers)
+	base := 0
+	stopped := false
+	for base < maxS && !stopped && !e.cancelled() {
+		roundEnd := base + workers*sampleChunk
+		if roundEnd > maxS {
+			roundEnd = maxS
+		}
+		nChunks := (roundEnd - base + sampleChunk - 1) / sampleChunk
+		var wg sync.WaitGroup
+		for c := 0; c < nChunks; c++ {
+			counts[c] = 0
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if e.cancelled() {
+					return
+				}
+				sc := scratchPool.Get().(*scratch)
+				start := base + c*sampleChunk
+				end := start + sampleChunk
+				if end > roundEnd {
+					end = roundEnd
+				}
+				var local obs.Welford
+				for i := start; i < end; i++ {
+					draw(e.Seed, sampler, sc, i)
+					local.Add(fn(i, sc))
+				}
+				scratchPool.Put(sc)
+				partials[c] = local
+				counts[c] = end - start
+			}(c)
+		}
+		wg.Wait()
+		for c := 0; c < nChunks; c++ {
+			if counts[c] == 0 {
+				// Cancelled before this chunk ran: the merged prefix ends
+				// here (later chunks of the round, if any ran, are dropped —
+				// the prefix must stay contiguous).
+				stopped = true
+				break
+			}
+			reg.Counter(workerName(c)).Add(int64(counts[c]))
+			totalDrawn += int64(counts[c])
+			stat.Merge(partials[c])
+			if stopRSE(stat, target) {
+				stopped = true
+				// Later chunks of this round were drawn concurrently but are
+				// past the stopping boundary: count the work, drop the data.
+				for d := c + 1; d < nChunks; d++ {
+					if counts[d] > 0 {
+						reg.Counter(workerName(d)).Add(int64(counts[d]))
+						totalDrawn += int64(counts[d])
+					}
+				}
+				break
+			}
+		}
+		base = roundEnd
+	}
+	reg.Counter("mc.worlds_sampled").Add(totalDrawn)
+	e.recordAdaptive(stat, int(totalDrawn))
+	return stat
+}
+
+// forEachSamplePair runs fn(i, scg, sch) over PAIRED worlds of g and h:
+// for each sample index, world i of g and world i of h are drawn and
+// handed to fn together, and fn's per-index statistic (typically a
+// difference) feeds the accumulator — fixed-budget or adaptive, exactly as
+// in forEachSample, whose scheduling, counting and cancellation contracts
+// all apply (each drawn pair counts as two worlds).
+//
+// Under the hashed modes (coupled, stratified) both graphs draw from the
+// SAME seed, so every edge the graphs share receives identical uniforms at
+// every index — the common-random-numbers coupling that collapses the
+// variance of difference estimates. Under the stream modes the second
+// graph draws from a decorrelated seed (pairSeed), giving the classical
+// independent two-sample estimator.
+func (e Estimator) forEachSamplePair(g, h *uncertain.Graph, fn func(i int, scg, sch *scratch) float64) obs.Welford {
+	reg := e.Obs.Registry()
+	samplerG, samplerH := g.Sampler(), h.Sampler()
+	draw := e.drawFn()
+	seedH := e.pairSeed()
+	limit := e.budget()
+	target := e.TargetRSE
+	workers := e.workers()
+	if maxChunks := (limit + sampleChunk - 1) / sampleChunk; workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		var stat obs.Welford
+		scg := scratchPool.Get().(*scratch)
+		sch := scratchPool.Get().(*scratch)
+		drawn := 0
+		for drawn < limit && !e.cancelled() {
+			end := drawn + sampleChunk
+			if end > limit {
+				end = limit
+			}
+			for i := drawn; i < end; i++ {
+				draw(e.Seed, samplerG, scg, i)
+				draw(seedH, samplerH, sch, i)
+				stat.Add(fn(i, scg, sch))
+			}
+			drawn = end
+			if e.adaptive() && stopRSE(stat, target) {
+				break
+			}
+		}
+		scratchPool.Put(scg)
+		scratchPool.Put(sch)
+		reg.Counter("mc.worlds_sampled").Add(2 * int64(drawn))
+		reg.Counter(workerName(0)).Add(2 * int64(drawn))
+		if e.adaptive() {
+			e.recordAdaptive(stat, drawn)
+		}
+		return stat
+	}
+
+	var stat obs.Welford
+	var totalDrawn int64
+	partials := make([]obs.Welford, workers)
+	counts := make([]int, workers)
+	base := 0
+	stopped := false
+	for base < limit && !stopped && !e.cancelled() {
+		roundEnd := base + workers*sampleChunk
+		if roundEnd > limit {
+			roundEnd = limit
+		}
+		nChunks := (roundEnd - base + sampleChunk - 1) / sampleChunk
+		var wg sync.WaitGroup
+		for c := 0; c < nChunks; c++ {
+			counts[c] = 0
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if e.cancelled() {
+					return
+				}
+				scg := scratchPool.Get().(*scratch)
+				sch := scratchPool.Get().(*scratch)
+				start := base + c*sampleChunk
+				end := start + sampleChunk
+				if end > roundEnd {
+					end = roundEnd
+				}
+				var local obs.Welford
+				for i := start; i < end; i++ {
+					draw(e.Seed, samplerG, scg, i)
+					draw(seedH, samplerH, sch, i)
+					local.Add(fn(i, scg, sch))
+				}
+				scratchPool.Put(scg)
+				scratchPool.Put(sch)
+				partials[c] = local
+				counts[c] = end - start
+			}(c)
+		}
+		wg.Wait()
+		for c := 0; c < nChunks; c++ {
+			if counts[c] == 0 {
+				stopped = true
+				break
+			}
+			reg.Counter(workerName(c)).Add(2 * int64(counts[c]))
+			totalDrawn += int64(counts[c])
+			stat.Merge(partials[c])
+			if e.adaptive() && stopRSE(stat, target) {
+				stopped = true
+				for d := c + 1; d < nChunks; d++ {
+					if counts[d] > 0 {
+						reg.Counter(workerName(d)).Add(2 * int64(counts[d]))
+						totalDrawn += int64(counts[d])
+					}
+				}
+				break
+			}
+		}
+		base = roundEnd
+	}
+	reg.Counter("mc.worlds_sampled").Add(2 * totalDrawn)
+	if e.adaptive() {
+		e.recordAdaptive(stat, int(totalDrawn))
+	}
+	return stat
+}
+
+// recordAdaptive publishes one adaptive call's closed-loop outcome: the
+// effective sample count, worlds actually drawn (including final-round
+// overdraw), achieved RSE, the savings factor against the cap, and the
+// stop reason (converged vs capped — the distinction the old
+// mc.quality.undersampled counter could not make). Cancelled calls record
+// only the cancellation: their statistics cover a truncated stream.
+func (e Estimator) recordAdaptive(w obs.Welford, drawn int) {
+	if e.Obs == nil {
+		return
+	}
+	reg := e.Obs.Registry()
+	if e.cancelled() {
+		reg.Counter("mc.adaptive.cancelled").Inc()
+		return
+	}
+	reg.Gauge("mc.adaptive.last_samples").Set(float64(w.Count()))
+	reg.Gauge("mc.adaptive.last_drawn").Set(float64(drawn))
+	rse := w.RelStdErr()
+	if math.IsInf(rse, 1) {
+		rse = math.MaxFloat64
+	}
+	reg.Gauge("mc.adaptive.last_rse").Set(rse)
+	if w.Count() > 0 {
+		reg.Gauge("mc.adaptive.last_savings").Set(float64(e.maxSamples()) / float64(w.Count()))
+	}
+	if stopRSE(w, e.TargetRSE) {
+		reg.Counter("mc.adaptive.converged").Inc()
+	} else {
+		reg.Counter("mc.adaptive.capped").Inc()
+	}
+}
+
 // UndersampledRSE is the relative-standard-error threshold above which an
 // estimate counts as under-sampled: the configured Monte Carlo budget left
 // more than 5% relative noise on the estimate, so downstream consumers
@@ -273,11 +693,14 @@ const UndersampledRSE = 0.05
 // recordQuality publishes the statistical health of one completed estimate
 // into the registry: the pooled per-sample stream (mean/variance/CI across
 // every call), last-call standard-error and CI gauges, and the relative-SE
-// convergence gauge. Estimates whose relative SE exceeds UndersampledRSE
-// bump the mc.quality.undersampled counter and emit a debug log, flagging
-// σ-search steps and sweep cells that ran under-budgeted. Free (one
-// pointer test) with Obs nil; estimates with no spread information (fewer
-// than two samples) record nothing.
+// convergence gauge. In fixed-budget mode, estimates whose relative SE
+// exceeds UndersampledRSE bump the mc.quality.undersampled counter and
+// emit a debug log, flagging σ-search steps and sweep cells that ran
+// under-budgeted. In adaptive mode the budget is the closed loop itself,
+// so the flag is replaced by per-operation stop-reason counters
+// (mc.adaptive.<op>.converged / .capped) keyed to the ACHIEVED RSE against
+// the configured target. Free (one pointer test) with Obs nil; estimates
+// with no spread information (fewer than two samples) record nothing.
 //
 // The accumulator must hold per-WORLD statistics (one observation per
 // sampled world, the forEachSample contract) so that stderr is the Monte
@@ -304,7 +727,8 @@ func (e Estimator) recordPairSpread(op string, w obs.Welford) {
 // their sanitized /metrics forms (mc_quality_X_last_stderr, ...) never
 // collide with the stream's own pooled expansion (mc_quality_X_stderr,
 // ...) — a collision would duplicate metric families and abort Prometheus
-// scrapes. convergence gates the under-sampled flag.
+// scrapes. convergence gates the under-sampled flag (fixed budget) or the
+// per-op stop-reason counters (adaptive).
 func (e Estimator) recordStream(name, op string, w obs.Welford, convergence bool) {
 	if e.Obs == nil || w.Count() < 2 || e.cancelled() {
 		// A cancelled estimate's accumulator covers a truncated sample set;
@@ -320,27 +744,51 @@ func (e Estimator) recordStream(name, op string, w obs.Welford, convergence bool
 	reg.Gauge(name + ".last_ci95_hi").Set(hi)
 	rse := w.RelStdErr()
 	reg.Gauge(name + ".last_rse").Set(rse)
-	if convergence && rse > UndersampledRSE {
+	if !convergence {
+		return
+	}
+	if e.adaptive() {
+		// Closed loop: report the achieved RSE against the configured
+		// target and the stop reason, per operation. A capped stream is the
+		// adaptive analogue of under-sampled — the cap bound the budget
+		// before the target was met — and is distinguishable from a
+		// converged one, which the old undersampled counter never was.
+		if rse <= e.TargetRSE {
+			reg.Counter("mc.adaptive." + op + ".converged").Inc()
+		} else {
+			reg.Counter("mc.adaptive." + op + ".capped").Inc()
+			e.Obs.Debug("mc: adaptive estimate capped before target RSE",
+				"op", op, "rse", rse, "target", e.TargetRSE, "samples", w.Count())
+		}
+		return
+	}
+	if rse > UndersampledRSE {
 		reg.Counter("mc.quality.undersampled").Inc()
 		e.Obs.Debug("mc: estimate under-sampled",
 			"op", op, "rse", rse, "samples", w.Count(), "stderr", w.StdErr())
 	}
 }
 
-// SampleLabels draws N worlds and returns their component-label vectors:
-// labels[i][v] is the component representative of vertex v in world i.
+// SampleLabels draws worlds and returns their component-label vectors:
+// labels[i][v] is the component representative of vertex v in world i. In
+// adaptive mode the returned slice is truncated to the effective sample
+// count (the per-world statistic driving the stopping rule is the world's
+// connected-pair count).
 func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
-	labels := make([][]int32, e.samples())
+	labels := make([][]int32, e.budget())
 	nv := g.NumNodes()
-	e.forEachSample(g, func(i int, sc *scratch) float64 {
-		d := sc.components()
+	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
+		d, pairs := sc.componentsPairs()
 		row := make([]int32, nv)
 		for v := range row {
 			row[v] = int32(d.Find(v))
 		}
 		labels[i] = row
-		return 0 // no scalar statistic: the label vector is the product
+		return float64(pairs)
 	})
+	if e.adaptive() {
+		labels = labels[:e.effSamples(w)]
+	}
 	return labels
 }
 
@@ -348,7 +796,6 @@ func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
 // connected unordered vertex pairs.
 func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 	defer e.timeOp("ExpectedConnectedPairs", time.Now())
-	n := e.samples()
 	if ls := e.cachedLabels(g); ls != nil {
 		var total float64
 		var w obs.Welford
@@ -357,16 +804,17 @@ func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 			w.Add(float64(c))
 		}
 		e.recordQuality("ExpectedConnectedPairs", w)
-		return total / float64(n)
+		return total / float64(len(ls.cc))
 	}
-	counts := make([]int64, n)
+	counts := make([]int64, e.budget())
 	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		_, counts[i] = sc.componentsPairs()
 		return float64(counts[i])
 	})
 	e.recordQuality("ExpectedConnectedPairs", w)
+	n := e.effSamples(w)
 	var total float64
-	for _, c := range counts {
+	for _, c := range counts[:n] {
 		total += float64(c)
 	}
 	return total / float64(n)
@@ -376,8 +824,7 @@ func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 // u and v are connected.
 func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) float64 {
 	defer e.timeOp("PairReliability", time.Now())
-	n := e.samples()
-	hits := make([]int8, n)
+	hits := make([]int8, e.budget())
 	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		if sc.components().Connected(int(u), int(v)) {
 			hits[i] = 1
@@ -386,8 +833,9 @@ func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) fl
 		return 0
 	})
 	e.recordQuality("PairReliability", w)
+	n := e.effSamples(w)
 	var total float64
-	for _, h := range hits {
+	for _, h := range hits[:n] {
 		total += float64(h)
 	}
 	return total / float64(n)
@@ -397,20 +845,23 @@ func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) fl
 // source; handy for k-nearest-neighbor style queries (cf. [30]).
 func (e Estimator) ReliabilityVector(g *uncertain.Graph, src uncertain.NodeID) []float64 {
 	defer e.timeOp("ReliabilityVector", time.Now())
-	n := e.samples()
 	labels := e.SampleLabels(g)
 	out := make([]float64, g.NumNodes())
-	for i := 0; i < n; i++ {
-		l := labels[i]
+	n := 0
+	for _, l := range labels {
 		if l == nil {
 			break // cancelled mid-sampling: rows past the cut were never drawn
 		}
+		n++
 		ls := l[src]
 		for v := range out {
 			if l[v] == ls {
 				out[v]++
 			}
 		}
+	}
+	if n == 0 {
+		n = 1 // cancelled before any world: result is discarded by the caller
 	}
 	inv := 1 / float64(n)
 	for v := range out {

@@ -59,12 +59,11 @@ func (ar *relArena) grow(n, words int) {
 // conditional sampling for the missing side.
 func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 	defer e.timeOp("EdgeRelevance", time.Now())
-	n := e.samples()
 	m := g.NumEdges()
 	words := (m + 63) / 64
 
 	ar := relArenaPool.Get().(*relArena)
-	ar.grow(n, words)
+	ar.grow(e.budget(), words)
 	ccStat := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		_, pairs := sc.componentsPairs()
 		ar.cc[i] = float64(pairs)
@@ -79,6 +78,10 @@ func (e Estimator) EdgeRelevance(g *uncertain.Graph) []float64 {
 		return make([]float64, m)
 	}
 	e.recordQuality("EdgeRelevance", ccStat)
+	// Effective sample count: the stopping-rule prefix in adaptive mode
+	// (always contiguous, so rows [0,n) of the arena are exactly the counted
+	// worlds), the fixed budget otherwise.
+	n := e.effSamples(ccStat)
 
 	// tailMask zeroes the complement's phantom bits past edge m-1.
 	tailMask := ^uint64(0)
@@ -173,15 +176,14 @@ func (e Estimator) conditionalCC(g *uncertain.Graph, edge int, present bool) flo
 		n = 32
 	}
 	sampler := g.Sampler()
-	sample := sampleFn(e.FastSampling)
+	draw := e.drawFn()
 	sc := scratchPool.Get().(*scratch)
 	var total float64
 	for i := 0; i < n; i++ {
 		if i%sampleChunk == 0 && e.cancelled() {
 			break // partial mean: caller observes Ctx.Err() and discards
 		}
-		sc.pcg.Seed(e.Seed, e.streamFor(1_000_000+i))
-		sample(sampler, &sc.world, &sc.pcg)
+		draw(e.Seed, sampler, sc, 1_000_000+i)
 		sc.world.SetPresence(edge, present)
 		_, pairs := sc.componentsPairs()
 		total += float64(pairs)

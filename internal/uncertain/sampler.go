@@ -2,8 +2,6 @@ package uncertain
 
 import (
 	"math"
-	"math/bits"
-	"math/rand/v2"
 )
 
 // mask53 extracts the low 53 bits of a PCG draw — exactly the bits
@@ -93,98 +91,6 @@ func newWorldSampler(g *Graph) *WorldSampler {
 
 // NumEdges returns the edge count the sampler was built for.
 func (s *WorldSampler) NumEdges() int { return len(s.g.edges) }
-
-// SampleInto draws one possible world into w, reusing w's bitset storage.
-// The world drawn from a given PCG state is bit-for-bit identical to
-// Graph.SampleWorld with a rand.Rand over the same state: one draw per
-// edge with 0 < p < 1, in edge-index order. This is the determinism
-// contract every Monte Carlo estimator builds on.
-func (s *WorldSampler) SampleInto(w *World, pcg *rand.PCG) {
-	w.g = s.g
-	nE := len(s.thresh)
-	words := bitsetWords(nE)
-	if cap(w.bits) < words {
-		w.bits = make(Bitset, words)
-	} else {
-		w.bits = w.bits[:words]
-	}
-	thresh := s.thresh
-	m := 0
-	// Build each output word in a register and store it once, instead of a
-	// read-modify-write per set bit. A threshold of 0 (p <= 0) never draws;
-	// threshAlways (p >= 1) sets the bit without drawing.
-	for wi := 0; wi < words; wi++ {
-		base := wi << 6
-		end := base + 64
-		if end > nE {
-			end = nE
-		}
-		var word uint64
-		for k, t := range thresh[base:end] {
-			if t == threshAlways {
-				word |= 1 << uint(k)
-				continue
-			}
-			if t == 0 {
-				continue
-			}
-			// Branchless set: the comparison outcome is a coin flip, so a
-			// conditional bit-or beats a 50%-mispredicted branch.
-			var b uint64
-			if pcg.Uint64()&mask53 < t {
-				b = 1
-			}
-			word |= b << uint(k)
-		}
-		w.bits[wi] = word
-		m += bits.OnesCount64(word)
-	}
-	w.m = m
-}
-
-// SampleIntoGeometric draws one possible world into w using geometric-skip
-// sampling for low-probability edge classes: within a class of k edges
-// sharing probability p, the gap to the next present edge is geometric, so
-// the cost is O(k*p) draws instead of k. High-probability and certain
-// edges take the per-edge path.
-//
-// The result follows the same distribution as SampleInto but consumes the
-// PCG stream differently, so the drawn world differs for the same state:
-// deterministic per seed, but a different world stream. Estimators expose
-// this as an opt-in (Estimator.FastSampling) precisely because it trades
-// the cross-implementation replay contract for speed.
-func (s *WorldSampler) SampleIntoGeometric(w *World, pcg *rand.PCG) {
-	w.g = s.g
-	w.bits = w.bits.grow(len(s.g.edges))
-	m := 0
-	for _, i := range s.dense {
-		t := s.thresh[i]
-		if t == threshAlways {
-			w.bits.Set(int(i))
-			m++
-		} else if pcg.Uint64()&mask53 < t {
-			w.bits.Set(int(i))
-			m++
-		}
-	}
-	for ci := range s.classes {
-		c := &s.classes[ci]
-		pos := 0
-		for pos < len(c.idx) {
-			// u in (0,1]: the +1 offset keeps Log finite at the stream's 0.
-			u := (float64(pcg.Uint64()&mask53) + 1) * (1.0 / (1 << 53))
-			gap := math.Log(u) * c.invLog1p
-			if gap >= float64(len(c.idx)-pos) {
-				break
-			}
-			pos += int(gap)
-			w.bits.Set(int(c.idx[pos]))
-			m++
-			pos++
-		}
-	}
-	w.m = m
-}
 
 // Sampler returns the world sampler snapshot for g's current state,
 // building and caching it on first use and rebuilding it after any

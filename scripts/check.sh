@@ -39,8 +39,10 @@ echo "== go test -race -count=2 (telemetry, MC workers, CLI runner) =="
 # concurrency-heavy additions, and the reliability worker pools plus the
 # runner's signal/cancellation paths cross goroutines by design; a
 # dedicated double-count race pass keeps them covered even if the main
-# pass is ever narrowed.
-go test -race -count=2 ./internal/obs/... ./internal/reliability/... ./cmd/internal/runner/...
+# pass is ever narrowed. internal/uncertain rides along because the
+# coupled/antithetic/stratified sampler kernels are what those worker
+# pools now race over (adaptive rounds share one sampler snapshot).
+go test -race -count=2 ./internal/obs/... ./internal/reliability/... ./internal/uncertain/... ./cmd/internal/runner/...
 
 coverage_floor="${COVERAGE_FLOOR:-78.4}"
 echo "== coverage (floor ${coverage_floor}%) =="
@@ -123,11 +125,47 @@ echo "== reliability benchmarks (-benchmem -count=3, allocation guard) =="
 # iteration count) plus allocs/op so both perf and allocation regressions
 # are catchable.
 rel_out=$(go test -run '^$' \
-    -bench 'BenchmarkEdgeRelevance$|BenchmarkDiscrepancy$|BenchmarkDiscrepancyUncached|BenchmarkWorldSamplerInto|BenchmarkComponentsInto|BenchmarkSampleWorld$|BenchmarkConnectedPairs$' \
-    -benchmem -count=3 -benchtime "$benchtime" .)
+    -bench 'BenchmarkEdgeRelevance$|BenchmarkDiscrepancy$|BenchmarkDiscrepancyUncached|BenchmarkWorldSamplerInto|BenchmarkComponentsInto|BenchmarkSampleWorld$|BenchmarkConnectedPairs$|BenchmarkAdaptiveChunkLoop' \
+    -benchmem -count=3 -benchtime "$benchtime" . ./internal/reliability/)
 echo "$rel_out"
 echo "$rel_out" | awk "$emit_min" > BENCH_reliability.json
 echo "wrote BENCH_reliability.json ($(grep -c '"name"' BENCH_reliability.json) entries)"
+
+echo "== MC sample-efficiency benchmark (adaptive stopping + CRN) =="
+# BenchmarkMCSampleEfficiency reports samples_to_target_rse: the Monte
+# Carlo worlds each sampling strategy needs to estimate the fig4
+# Δ-discrepancy at a 5% relative standard error. The counts are
+# deterministic under the pinned benchmark seed; wall time is a function
+# of the sample count, so the benchcmp gate for this file runs -skip-ns.
+emit_mc='
+    BEGIN { print "[" }
+    $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        s = 0
+        for (i = 5; i <= NF; i++) if ($i == "samples_to_target_rse") s = $(i-1)
+        if (n++) printf(",\n")
+        printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": 0, \"iterations\": %s, \"samples_to_target_rse\": %s}", name, $3, $2, s)
+    }
+    END { if (n) printf("\n"); print "]" }
+'
+mc_out=$(go test -run '^$' -bench 'BenchmarkMCSampleEfficiency' -benchtime 2x .)
+echo "$mc_out"
+echo "$mc_out" | awk "$emit_mc" > BENCH_mc.json
+echo "wrote BENCH_mc.json ($(grep -c '"name"' BENCH_mc.json) entries)"
+
+# The headline claim of the adaptive+CRN work: reaching the target RSE on
+# the fig4 Δ-discrepancy must take >= 5x fewer samples under adaptive
+# coupled sampling than the fixed-N budget a user would have to provision.
+mc_metric() {
+    grep "\"$1\"" BENCH_mc.json | sed 's/.*"samples_to_target_rse": \([0-9.e+-]*\).*/\1/'
+}
+fixed_n=$(mc_metric "BenchmarkMCSampleEfficiency/fixed")
+crn_n=$(mc_metric "BenchmarkMCSampleEfficiency/adaptive-crn")
+if ! awk -v f="${fixed_n:-0}" -v c="${crn_n:-0}" 'BEGIN { exit !(c > 0 && f / c >= 5) }'; then
+    echo "sample-efficiency gate: adaptive+CRN used ${crn_n:-?} samples vs fixed-N ${fixed_n:-?}; want >= 5x fewer" >&2
+    exit 1
+fi
+echo "sample-efficiency gate: fixed ${fixed_n} vs adaptive-crn ${crn_n} samples (>= 5x)"
 
 echo "== benchmark regression gate (vs committed baseline) =="
 if [ "${SKIP_BENCH_GATE:-}" = "1" ]; then
@@ -135,9 +173,13 @@ if [ "${SKIP_BENCH_GATE:-}" = "1" ]; then
 else
     basedir=$(mktemp -d)
     trap 'rm -rf "$basedir"' EXIT
-    for f in BENCH_obs.json BENCH_reliability.json; do
+    for f in BENCH_obs.json BENCH_reliability.json BENCH_mc.json; do
+        skip_ns=""
+        if [ "$f" = "BENCH_mc.json" ]; then
+            skip_ns="-skip-ns"
+        fi
         if git show "HEAD:$f" > "$basedir/$f" 2>/dev/null; then
-            go run ./cmd/benchcmp -max-slowdown "${BENCH_MAX_SLOWDOWN:-25}" "$basedir/$f" "$f"
+            go run ./cmd/benchcmp -max-slowdown "${BENCH_MAX_SLOWDOWN:-25}" $skip_ns "$basedir/$f" "$f"
         else
             echo "no committed baseline for $f; gate skipped for this file"
         fi
@@ -145,8 +187,9 @@ else
 fi
 
 # The world-sampling and union kernels must stay allocation-free on the
-# steady state (the tentpole guarantee of the bitset world engine).
-for kernel in BenchmarkWorldSamplerInto BenchmarkComponentsInto; do
+# steady state (the tentpole guarantee of the bitset world engine), and so
+# must the adaptive sequential-stopping chunk loop built on top of them.
+for kernel in BenchmarkWorldSamplerInto BenchmarkComponentsInto BenchmarkAdaptiveChunkLoop; do
     a=$(grep "\"$kernel\"" BENCH_reliability.json | sed 's/.*"allocs_per_op": \([0-9]*\).*/\1/')
     if [ "${a:-1}" != "0" ]; then
         echo "allocation guard: $kernel reports ${a:-?} allocs/op, want 0" >&2
