@@ -38,6 +38,15 @@ type entry struct {
 	// the adaptive-sampling benchmarks: worlds needed to reach the target
 	// relative standard error. Zero when the benchmark does not report it.
 	SamplesToTargetRSE float64 `json:"samples_to_target_rse,omitempty"`
+	// Load-harness extension (BENCH_load.json, written by ugload): tail
+	// latency quantiles, throughput and error rate. P99NS is gated like
+	// ns_per_op (even under -skip-ns — the whole point of the artifact
+	// is its tail); the rest are informational.
+	P50NS     int64   `json:"p50_ns,omitempty"`
+	P99NS     int64   `json:"p99_ns,omitempty"`
+	P999NS    int64   `json:"p999_ns,omitempty"`
+	QPS       float64 `json:"qps,omitempty"`
+	ErrorRate float64 `json:"error_rate,omitempty"`
 }
 
 func main() {
@@ -81,6 +90,12 @@ func main() {
 		if b.SamplesToTargetRSE > 0 && e.SamplesToTargetRSE > 0 {
 			if 100*(e.SamplesToTargetRSE-b.SamplesToTargetRSE)/b.SamplesToTargetRSE > *maxSlowdown {
 				mark = "REGRESSION (samples)"
+				regressions++
+			}
+		}
+		if b.P99NS > 0 && e.P99NS > 0 {
+			if 100*float64(e.P99NS-b.P99NS)/float64(b.P99NS) > *maxSlowdown {
+				mark = "REGRESSION (p99)"
 				regressions++
 			}
 		}

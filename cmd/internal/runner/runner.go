@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -68,6 +69,10 @@ type Options struct {
 	// ServeAddr, when non-empty, serves live telemetry on that address
 	// for the duration of the run.
 	ServeAddr string
+	// ExtraHandlers mounts additional endpoints (keyed by pattern, e.g.
+	// "/query") on the telemetry server's mux, so a run can expose its
+	// own HTTP plane on the same listener. Ignored without ServeAddr.
+	ExtraHandlers map[string]http.Handler
 	// Observer receives the run's metrics; may be nil (telemetry and the
 	// journal's final snapshot then degrade gracefully).
 	Observer *obs.Observer
@@ -97,6 +102,10 @@ type Env struct {
 	// RunID identifies the run in the journal and /runs ("" when neither
 	// is enabled).
 	RunID string
+	// ServeAddr is the telemetry server's bound address ("" when -serve
+	// is off). With a ":0" request this is where the port actually
+	// landed — load harnesses dial it.
+	ServeAddr string
 }
 
 // Main runs body inside the full lifecycle harness and returns the
@@ -157,8 +166,9 @@ func Main(opts Options, body func(*Env) error) int {
 		}
 	}
 
+	var boundAddr string
 	if opts.ServeAddr != "" {
-		exOpts := expose.Options{}
+		exOpts := expose.Options{Handlers: opts.ExtraHandlers}
 		if jw != nil {
 			exOpts.OnSnapshot = func(at time.Time, s obs.Snapshot, rates map[string]float64) {
 				jw.WriteSnapshot(at, s, rates)
@@ -175,6 +185,7 @@ func Main(opts Options, body func(*Env) error) int {
 			finish("failed", err.Error())
 			return 1
 		}
+		boundAddr = addr
 		fmt.Fprintf(stderr, "%s: serving telemetry on http://%s/metrics\n", opts.Command, addr)
 	}
 
@@ -223,7 +234,7 @@ func Main(opts Options, body func(*Env) error) int {
 		}
 	}()
 
-	err := body(&Env{Ctx: ctx, Obs: opts.Observer, Journal: jw, Server: srv, RunID: runID})
+	err := body(&Env{Ctx: ctx, Obs: opts.Observer, Journal: jw, Server: srv, RunID: runID, ServeAddr: boundAddr})
 
 	sig, _ := caught.Load().(os.Signal)
 	status, code := classify(err, sig)

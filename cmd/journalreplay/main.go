@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -134,8 +135,11 @@ func run(out io.Writer, args []string) error {
 }
 
 // lookupMetric resolves a dotted metric name against a run's final
-// snapshot: counter, gauge, then quality-stream mean (annotated with its
-// 95% CI).
+// snapshot: counter, gauge, quality-stream mean (annotated with its
+// 95% CI), then latency instruments via a stat suffix —
+// "query.latency.all.p99" reads the p99 of the "query.latency.all"
+// latency histogram (suffixes: p50 p90 p99 p999 min max count mean;
+// nanosecond values are annotated with the human-readable duration).
 func lookupMetric(run *journal.Run, name string) (value float64, detail string, ok bool) {
 	if run.Final == nil {
 		return 0, "", false
@@ -148,6 +152,31 @@ func lookupMetric(run *journal.Run, name string) (value float64, detail string, 
 	}
 	if q, ok := run.Final.Quality[name]; ok {
 		return q.Mean, fmt.Sprintf(" (ci95 [%.6g, %.6g], n=%d)", q.CI95Lo, q.CI95Hi, q.Count), true
+	}
+	if i := strings.LastIndex(name, "."); i > 0 {
+		if l, ok := run.Final.Latencies[name[:i]]; ok {
+			ns := func(v int64) (float64, string, bool) {
+				return float64(v), fmt.Sprintf(" (%v)", time.Duration(v)), true
+			}
+			switch name[i+1:] {
+			case "p50":
+				return ns(l.P50NS)
+			case "p90":
+				return ns(l.P90NS)
+			case "p99":
+				return ns(l.P99NS)
+			case "p999":
+				return ns(l.P999NS)
+			case "min":
+				return ns(l.MinNS)
+			case "max":
+				return ns(l.MaxNS)
+			case "mean":
+				return ns(int64(l.Mean()))
+			case "count":
+				return float64(l.Count), "", true
+			}
+		}
 	}
 	return 0, "", false
 }

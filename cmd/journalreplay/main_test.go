@@ -59,6 +59,14 @@ func TestMetricCounterGolden(t *testing.T) {
 	golden(t, "metric_counter.golden", "-metric", "mc.worlds_sampled", filepath.Join("testdata", "runs.jsonl"))
 }
 
+// TestMetricLatencyGolden pins -metric resolving a latency instrument by
+// stat suffix against a pair of ugload runs: query.latency.all.p99 reads
+// the p99 of the HDR-backed latency histogram, annotated with the
+// human-readable duration, and the second run gets a delta vs the first.
+func TestMetricLatencyGolden(t *testing.T) {
+	golden(t, "metric_latency.golden", "-metric", "query.latency.all.p99", filepath.Join("testdata", "ugload.jsonl"))
+}
+
 func TestNoArgsIsUsageError(t *testing.T) {
 	var out bytes.Buffer
 	err := run(&out, nil)

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chameleon/internal/obs/journal"
+	"chameleon/internal/obs/wideevent"
+)
+
+func testConfig(t *testing.T) (config, string) {
+	t.Helper()
+	dir := t.TempDir()
+	mix, err := parseMix("pair_reliability=4,knn=2,degree=3,degree_distribution=1,centrality=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return config{
+		nodes: 60, mode: "both", qps: 300, workers: 4,
+		duration: 150 * time.Millisecond, warmup: 20 * time.Millisecond,
+		mix: mix, k: 5, samples: 64, seed: 3,
+		benchOut: filepath.Join(dir, "BENCH_load.json"),
+	}, dir
+}
+
+// TestLoadBothModes: a short in-process run in both loop modes exits
+// clean and writes a schema-valid benchmark artifact, per-mode journal
+// snapshots, and a parseable wide-event log.
+func TestLoadBothModes(t *testing.T) {
+	cfg, dir := testConfig(t)
+	jpath := filepath.Join(dir, "run.jsonl")
+	epath := filepath.Join(dir, "events.jsonl")
+
+	code, err := run(cfg, "pair_reliability=4,knn=2,degree=3,degree_distribution=1,centrality=1", "", epath, 8, jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+
+	raw, err := os.ReadFile(cfg.benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []benchEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d bench entries, want 2 (open + closed)", len(entries))
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = true
+		if e.Iterations <= 0 || e.NsPerOp <= 0 || e.QPS <= 0 {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+		if !(e.P50NS > 0 && e.P50NS <= e.P99NS && e.P99NS <= e.P999NS) {
+			t.Fatalf("quantiles out of order: %+v", e)
+		}
+		if e.ErrorRate != 0 {
+			t.Fatalf("unexpected errors: %+v", e)
+		}
+	}
+	if !names["ugload/open"] || !names["ugload/closed"] {
+		t.Fatalf("entry names: %v", names)
+	}
+
+	runs, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("journal has %d runs, want 1", len(runs))
+	}
+	if runs[0].Truncated() || runs[0].Status != "done" {
+		t.Fatalf("journal run status %q (truncated=%v)", runs[0].Status, runs[0].Truncated())
+	}
+	// One snapshot per completed mode.
+	if n := len(runs[0].Snapshots); n != 2 {
+		t.Fatalf("journal has %d snapshots, want 2", n)
+	}
+	last := runs[0].Snapshots[len(runs[0].Snapshots)-1]
+	if lat, ok := last.Snapshot.Latencies["query.latency.all"]; !ok || lat.Count == 0 {
+		t.Fatalf("journal snapshot missing query latency: %+v", last.Snapshot.Latencies)
+	}
+
+	events, err := wideevent.ReadFile(epath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no wide events written")
+	}
+	for _, e := range events {
+		if e.RequestID == "" || e.Kind == "" || e.SampledN < 1 {
+			t.Fatalf("malformed event: %+v", e)
+		}
+	}
+}
+
+// TestLoadServeHTTP: the harness drives its own expose /query endpoint.
+func TestLoadServeHTTP(t *testing.T) {
+	cfg, _ := testConfig(t)
+	cfg.mode = "closed"
+	cfg.duration = 100 * time.Millisecond
+	cfg.benchOut = ""
+	code, err := run(cfg, "degree=3,pair_reliability=1", "127.0.0.1:0", "", 8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+// TestSLOViolation: an impossible p99 budget fails the run.
+func TestSLOViolation(t *testing.T) {
+	cfg, _ := testConfig(t)
+	cfg.mode = "closed"
+	cfg.duration = 80 * time.Millisecond
+	cfg.benchOut = ""
+	cfg.sloP99 = time.Nanosecond
+	code, err := run(cfg, "degree=1", "", "", 8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 on SLO violation", code)
+	}
+}
+
+// TestParseMix: validation of the workload-mix flag.
+func TestParseMix(t *testing.T) {
+	if _, err := parseMix("degree=2, knn=1"); err != nil {
+		t.Fatalf("valid mix rejected: %v", err)
+	}
+	for _, bad := range []string{"", "degree", "degree=0", "degree=x", "bogus=1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("mix %q accepted", bad)
+		}
+	}
+}

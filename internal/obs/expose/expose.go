@@ -53,6 +53,10 @@ type Options struct {
 	// the counter rates computed from it. It runs on the differ goroutine;
 	// keep it fast or hand off.
 	OnSnapshot func(at time.Time, s obs.Snapshot, rates map[string]float64)
+	// Handlers mounts extra endpoints on the served mux, keyed by
+	// pattern (e.g. "/query"). The built-in endpoints win on pattern
+	// collision — the telemetry contract is not overridable.
+	Handlers map[string]http.Handler
 }
 
 // buildInfo identifies the running binary for the build_info gauge.
@@ -145,6 +149,18 @@ func (s *Server) Handler() http.Handler {
 		return nil
 	}
 	mux := http.NewServeMux()
+	builtin := map[string]bool{
+		"/": true, "/metrics": true, "/healthz": true, "/runs": true,
+		"/trace": true, "/debug/pprof/": true, "/debug/pprof/cmdline": true,
+		"/debug/pprof/profile": true, "/debug/pprof/symbol": true,
+		"/debug/pprof/trace": true,
+	}
+	for pat, h := range s.opts.Handlers {
+		if h == nil || builtin[pat] {
+			continue
+		}
+		mux.Handle(pat, h)
+	}
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)

@@ -31,6 +31,10 @@ func testObserver() *obs.Observer {
 	for _, v := range []float64{100, 104, 96, 102, 98} {
 		q.Observe(v)
 	}
+	lat := r.Latency("query.latency.all")
+	for i := 0; i < 100; i++ {
+		lat.ObserveNS(1_000_000) // 1ms
+	}
 	// The last-call companion gauges recordQuality writes next to the
 	// pooled stream: their sanitized names must coexist with the stream's
 	// own _stderr/_ci95_* expansion on one scrape.
@@ -46,7 +50,7 @@ var metricLine = regexp.MustCompile(
 	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[+-]?\d+(\.\d+)?([eE][+-]?\d+)?)$`)
 
 // typeLine matches a # TYPE comment.
-var typeLine = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+var typeLine = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary)$`)
 
 // TestMetricsEndpointFormat round-trips /metrics through httptest and
 // checks every line against the Prometheus text exposition grammar.
@@ -101,7 +105,7 @@ func TestMetricsEndpointFormat(t *testing.T) {
 		}
 		v, _ := strconv.ParseFloat(m[3], 64)
 		samples[m[1]+m[2]] = v
-		if strings.Contains(m[2], `le="`) {
+		if strings.HasPrefix(m[2], `{le="`) {
 			bucketLines = append(bucketLines, line)
 		}
 	}
@@ -126,6 +130,14 @@ func TestMetricsEndpointFormat(t *testing.T) {
 		// Last-call companion gauges alongside the pooled expansion.
 		"chameleon_mc_quality_ExpectedConnectedPairs_last_stderr": 0.7,
 		"chameleon_mc_quality_ExpectedConnectedPairs_last_rse":    0.007,
+
+		// The latency instrument's summary exposition: every recorded value
+		// is exactly 1ms, so all SLO quantiles clamp to the observed max.
+		`chameleon_query_latency_all{quantile="0.5"}`:   0.001,
+		`chameleon_query_latency_all{quantile="0.99"}`:  0.001,
+		`chameleon_query_latency_all{quantile="0.999"}`: 0.001,
+		"chameleon_query_latency_all_sum":               0.1,
+		"chameleon_query_latency_all_count":             100,
 	}
 	for name, v := range want {
 		got, ok := samples[name]

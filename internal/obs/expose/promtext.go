@@ -12,7 +12,9 @@ import (
 // WritePrometheus renders a registry snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
 // samples, quality streams expanded into their derived estimator-health
-// gauges, histograms with cumulative le-buckets plus _sum and _count, and
+// gauges, histograms with cumulative le-buckets plus _sum and _count,
+// latency instruments as summaries carrying their p50/p90/p99/p999 SLO
+// quantiles in seconds, and
 // the differ's counter rates as companion _per_second gauges. Metric names
 // are namespaced and sanitized (every character outside [a-zA-Z0-9_:]
 // becomes '_'), and families are emitted in sorted order so the output is
@@ -23,8 +25,8 @@ import (
 // next to a gauge "a.b.c", or a gauge shadowing a quality stream's
 // derived suffixes), and the Prometheus text parser rejects a scrape that
 // repeats a "# TYPE" line or a sample name. First family in emission
-// order (counters, gauges, quality, histograms, rates) wins; later
-// claims are dropped.
+// order (counters, gauges, quality, histograms, latencies, rates) wins;
+// later claims are dropped.
 func WritePrometheus(w io.Writer, namespace string, s obs.Snapshot, rates map[string]float64) error {
 	p := &promWriter{w: w, ns: namespace, seen: map[string]bool{}}
 
@@ -86,6 +88,28 @@ func WritePrometheus(w io.Writer, namespace string, s obs.Snapshot, rates map[st
 		}
 		p.sample(base+"_sum", "", h.Sum)
 		p.sample(base+"_count", "", float64(h.Count))
+	}
+	for _, name := range sortedKeys(s.Latencies) {
+		l := s.Latencies[name]
+		base := p.name(name)
+		if !p.claimAll(base, base+"_sum", base+"_count") {
+			continue
+		}
+		if p.err == nil {
+			_, p.err = fmt.Fprintf(p.w, "# TYPE %s summary\n", base)
+		}
+		// Latencies record nanoseconds; the exposition follows the
+		// Prometheus base-unit convention and publishes seconds.
+		for _, qv := range []struct {
+			q  string
+			ns int64
+		}{
+			{"0.5", l.P50NS}, {"0.9", l.P90NS}, {"0.99", l.P99NS}, {"0.999", l.P999NS},
+		} {
+			p.sample(base, `quantile="`+qv.q+`"`, float64(qv.ns)/1e9)
+		}
+		p.sample(base+"_sum", "", float64(l.SumNS)/1e9)
+		p.sample(base+"_count", "", float64(l.Count))
 	}
 	for _, name := range sortedKeys(rates) {
 		rateName := p.name(name) + "_per_second"

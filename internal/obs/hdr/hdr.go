@@ -1,0 +1,419 @@
+// Package hdr implements a High Dynamic Range histogram for latency
+// recording: log-linear bucketing with a configurable relative-error
+// bound, lock-free concurrent recording, mergeable state, and a
+// coordinated-omission corrector for open-loop load measurement.
+//
+// The value axis (nanoseconds, or any non-negative int64 unit) is split
+// into exponential "octaves", each subdivided into 2^m linear
+// sub-buckets. Within an octave every bucket spans at most value/2^m, so
+// any quantile read from the bucket bounds is within a relative error of
+// 2^-m of the exact order statistic — the classical HdrHistogram
+// guarantee, with m derived from Config.RelError. Memory is a few KB per
+// histogram (one int64 counter per bucket), independent of the number of
+// recorded values, and two histograms with the same configuration merge
+// by bucket-count addition — an associative, commutative operation, which
+// is what makes the shard-and-merge Recorder and cross-process
+// aggregation sound.
+//
+// Like the rest of the obs subsystem, a nil *Histogram or *Recorder is a
+// usable no-op.
+package hdr
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxValue is the highest trackable value when Config.MaxValue is
+// zero: 2^42 ns is about 73 minutes, far beyond any request latency this
+// repo measures. Values above the maximum saturate into the top bucket.
+const DefaultMaxValue = int64(1) << 42
+
+// DefaultRelError is the quantile relative-error bound when
+// Config.RelError is zero: 2^-7, i.e. quantiles accurate to within
+// 0.79%, at a cost of 128 linear sub-buckets per octave.
+const DefaultRelError = 1.0 / 128
+
+// Config fixes a histogram's bucket layout. Histograms merge only when
+// their configurations are equal after defaulting.
+type Config struct {
+	// RelError bounds the relative error of Snapshot.Quantile: the
+	// reported value differs from the exact order statistic by at most
+	// RelError × value. Internally rounded down to the next power of two
+	// (2^-m); zero means DefaultRelError.
+	RelError float64
+	// MaxValue is the largest distinguishable value; larger recordings
+	// saturate into the top bucket. Zero means DefaultMaxValue.
+	MaxValue int64
+}
+
+// layout is the resolved bucket geometry. subHalf = 2^m linear
+// sub-buckets per octave; values below subCount = 2·subHalf are exact
+// (unit-width buckets), values above land in octave e >= 1 where bucket
+// width is 2^e and the relative error is bounded by 1/subHalf.
+type layout struct {
+	m        uint  // sub-bucket magnitude
+	subHalf  int64 // 1 << m
+	subCount int64 // 2 << m
+	maxValue int64
+	nBuckets int
+}
+
+func makeLayout(cfg Config) layout {
+	relErr := cfg.RelError
+	if relErr <= 0 {
+		relErr = DefaultRelError
+	}
+	// Smallest m with 2^-m <= relErr; clamped so the bucket array stays
+	// sane (m=20 is a 0.0001% bound and ~1M buckets per octave already).
+	m := uint(math.Ceil(math.Log2(1 / relErr)))
+	if m < 1 {
+		m = 1
+	}
+	if m > 20 {
+		m = 20
+	}
+	l := layout{m: m, subHalf: 1 << m, subCount: 2 << m}
+	l.maxValue = cfg.MaxValue
+	if l.maxValue <= 0 {
+		l.maxValue = DefaultMaxValue
+	}
+	if l.maxValue < l.subCount {
+		l.maxValue = l.subCount // keep at least one full linear range
+	}
+	l.nBuckets = l.index(l.maxValue) + 1
+	return l
+}
+
+// index maps a value to its bucket. Values in [0, subCount) are exact;
+// above that, octave e = len(v) - (m+1) >= 1 holds values in
+// [subCount<<(e-1), subCount<<e) across subHalf buckets of width 2^e.
+func (l layout) index(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v > l.maxValue {
+		v = l.maxValue
+	}
+	if v < l.subCount {
+		return int(v)
+	}
+	e := uint(bits.Len64(uint64(v))) - (l.m + 1)
+	return int(l.subCount + int64(e-1)*l.subHalf + (v >> e) - l.subHalf)
+}
+
+// bounds returns bucket i's inclusive value range.
+func (l layout) bounds(i int) (lo, hi int64) {
+	if int64(i) < l.subCount {
+		return int64(i), int64(i)
+	}
+	rem := int64(i) - l.subCount
+	e := uint(rem/l.subHalf) + 1
+	r := rem % l.subHalf
+	lo = (l.subHalf + r) << e
+	return lo, lo + (1 << e) - 1
+}
+
+// Histogram is a concurrent HDR histogram. Record is lock-free: one
+// atomic add per bucket plus count/sum/min/max maintenance. Construct
+// with New.
+type Histogram struct {
+	layout
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // MaxInt64 until the first recording
+	max    atomic.Int64
+}
+
+// New builds a histogram with the given configuration (zero fields take
+// the package defaults).
+func New(cfg Config) *Histogram {
+	l := makeLayout(cfg)
+	h := &Histogram{layout: l, counts: make([]atomic.Int64, l.nBuckets)}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Record adds one value. Negative values clamp to zero and values above
+// the configured maximum clamp to it (saturating into the top bucket),
+// so count, sum, min and max always describe the clamped stream and the
+// sum cannot overflow on outliers. No-op on a nil histogram.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > h.maxValue {
+		v = h.maxValue
+	}
+	h.counts[h.index(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// RecordCorrected records v and back-fills the coordinated-omission gap:
+// when a measured operation stalls past the expected interval between
+// operations (the open-loop arrival period), the operations that SHOULD
+// have started during the stall never ran, so their latencies were never
+// recorded and naive percentiles are biased low. Following HdrHistogram,
+// the corrector synthesizes those missing samples on a linear ramp:
+// v-interval, v-2·interval, ... down to the interval. A non-positive
+// interval degrades to plain Record.
+func (h *Histogram) RecordCorrected(v, expectedInterval int64) {
+	if h == nil {
+		return
+	}
+	h.Record(v)
+	if expectedInterval <= 0 {
+		return
+	}
+	for x := v - expectedInterval; x >= expectedInterval; x -= expectedInterval {
+		h.Record(x)
+	}
+}
+
+// Merge folds o's recordings into h. Both histograms must share one
+// configuration; merging is bucket-count addition, so it is associative
+// and commutative and never loses precision. Safe while both sides keep
+// recording (the merged state then reflects some interleaving). A nil o
+// is a no-op.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if h.layout != o.layout {
+		return fmt.Errorf("hdr: merge of mismatched layouts (m=%d max=%d vs m=%d max=%d)",
+			h.m, h.maxValue, o.m, o.maxValue)
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for {
+		om, hm := o.min.Load(), h.min.Load()
+		if om >= hm || h.min.CompareAndSwap(hm, om) {
+			break
+		}
+	}
+	for {
+		om, hm := o.max.Load(), h.max.Load()
+		if om <= hm || h.max.CompareAndSwap(hm, om) {
+			break
+		}
+	}
+	return nil
+}
+
+// Count returns the number of recordings (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot freezes the histogram into an immutable, query-able state.
+// Returns an empty snapshot on a nil histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		layout: h.layout,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Max:    h.max.Load(),
+	}
+	if min := h.min.Load(); min != math.MaxInt64 {
+		s.Min = min
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a frozen histogram state. The zero value is an empty
+// snapshot whose Quantile returns 0.
+type Snapshot struct {
+	layout
+	Counts []int64
+	Count  int64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the recorded values,
+// within the configured relative-error bound: the reported value is >=
+// the exact order statistic and exceeds it by at most RelError × value.
+// Returns 0 for an empty snapshot.
+func (s Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, n := range s.Counts {
+		cum += n
+		if cum >= rank {
+			_, hi := s.bounds(i)
+			// The exact order statistic lies inside bucket i and is <= the
+			// recorded maximum, so min(hi, Max) still upper-bounds it while
+			// keeping p100 == Max exactly.
+			if s.Max > 0 && hi > s.Max {
+				return s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the recorded values (exact: it is
+// computed from the untruncated sum, not the buckets).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge folds o into s (same-configuration requirement as
+// Histogram.Merge).
+func (s *Snapshot) Merge(o Snapshot) error {
+	if o.Count == 0 && len(o.Counts) == 0 {
+		return nil
+	}
+	if len(s.Counts) == 0 {
+		// Merging into an empty zero-value snapshot adopts o wholesale.
+		*s = o
+		s.Counts = append([]int64(nil), o.Counts...)
+		return nil
+	}
+	if s.layout != o.layout {
+		return fmt.Errorf("hdr: merge of mismatched snapshot layouts")
+	}
+	for i, n := range o.Counts {
+		s.Counts[i] += n
+	}
+	s.Sum += o.Sum
+	if o.Count > 0 {
+		if s.Count == 0 || o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+	s.Count += o.Count
+	return nil
+}
+
+// Recorder shards recordings over several histograms so concurrent
+// writers on different cores do not contend on the same counter cache
+// lines, and merges them on Snapshot. The shard is picked per recording
+// from the calling thread's lock-free RNG, so any goroutine may record
+// through one shared Recorder.
+type Recorder struct {
+	shards []*Histogram
+	mask   uint64
+	cfg    Config
+}
+
+// NewRecorder builds a sharded recorder. shards is rounded up to a power
+// of two; zero picks a default sized to the machine (capped at 8 — the
+// recording rates this repo sees saturate long after that).
+func NewRecorder(cfg Config, shards int) *Recorder {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > 8 {
+			shards = 8
+		}
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &Recorder{shards: make([]*Histogram, n), mask: uint64(n - 1), cfg: cfg}
+	for i := range r.shards {
+		r.shards[i] = New(cfg)
+	}
+	return r
+}
+
+// Record adds one value to a randomly chosen shard. No-op on nil.
+func (r *Recorder) Record(v int64) {
+	if r == nil {
+		return
+	}
+	r.shards[rand.Uint64()&r.mask].Record(v)
+}
+
+// RecordDuration records a duration in nanoseconds.
+func (r *Recorder) RecordDuration(d time.Duration) { r.Record(int64(d)) }
+
+// RecordCorrected is the sharded form of Histogram.RecordCorrected; the
+// synthesized back-fill samples land on the same shard as the observed
+// one.
+func (r *Recorder) RecordCorrected(v, expectedInterval int64) {
+	if r == nil {
+		return
+	}
+	r.shards[rand.Uint64()&r.mask].RecordCorrected(v, expectedInterval)
+}
+
+// Count returns the total recordings across shards (0 on nil).
+func (r *Recorder) Count() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for _, h := range r.shards {
+		n += h.Count()
+	}
+	return n
+}
+
+// Snapshot merges the shards into one frozen state. Returns an empty
+// snapshot on nil.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	merged := New(r.cfg)
+	for _, h := range r.shards {
+		merged.Merge(h) // same config by construction: cannot fail
+	}
+	return merged.Snapshot()
+}

@@ -1,0 +1,318 @@
+package hdr
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the reference order statistic the histogram
+// approximates: rank ceil(q*n) of the sorted sample, matching
+// Snapshot.Quantile's rank convention.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileWithinRelativeError is the property pinning the package's
+// central claim: for arbitrary sample sets and every probed quantile,
+// the histogram's answer is >= the exact order statistic and exceeds it
+// by at most the configured relative error.
+func TestQuantileWithinRelativeError(t *testing.T) {
+	configs := []Config{
+		{},                  // defaults: 2^-7
+		{RelError: 0.05},    // coarse: 2^-5
+		{RelError: 0.001},   // fine: 2^-10
+		{MaxValue: 1 << 30}, // smaller range, default error
+	}
+	quantiles := []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}
+	rng := rand.New(rand.NewPCG(42, 7))
+
+	for ci, cfg := range configs {
+		resolved := makeLayout(cfg)
+		relErr := 1 / float64(resolved.subHalf)
+		for trial := 0; trial < 20; trial++ {
+			h := New(cfg)
+			n := 100 + rng.IntN(5000)
+			vals := make([]int64, n)
+			for i := range vals {
+				switch trial % 3 {
+				case 0: // log-uniform across the whole range (latency-like)
+					vals[i] = int64(math.Exp(rng.Float64() * math.Log(float64(resolved.maxValue))))
+				case 1: // small exact-range integers
+					vals[i] = rng.Int64N(resolved.subCount)
+				default: // heavy-tailed mixture
+					vals[i] = rng.Int64N(1000)
+					if rng.IntN(10) == 0 {
+						vals[i] = rng.Int64N(resolved.maxValue)
+					}
+				}
+				h.Record(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			s := h.Snapshot()
+			for _, q := range quantiles {
+				exact := exactQuantile(vals, q)
+				got := s.Quantile(q)
+				if got < exact {
+					t.Fatalf("cfg %d trial %d q=%v: got %d below exact %d", ci, trial, q, got, exact)
+				}
+				if diff := got - exact; float64(diff) > relErr*float64(exact) {
+					t.Fatalf("cfg %d trial %d q=%v: got %d vs exact %d, error %d exceeds bound %v",
+						ci, trial, q, got, exact, diff, relErr*float64(exact))
+				}
+			}
+			if s.Min != vals[0] || s.Max != vals[n-1] {
+				t.Fatalf("cfg %d trial %d: min/max = %d/%d, want %d/%d", ci, trial, s.Min, s.Max, vals[0], vals[n-1])
+			}
+			var sum int64
+			for _, v := range vals {
+				sum += v
+			}
+			if s.Sum != sum || s.Count != int64(n) {
+				t.Fatalf("cfg %d trial %d: sum/count = %d/%d, want %d/%d", ci, trial, s.Sum, s.Count, sum, n)
+			}
+		}
+	}
+}
+
+// TestQuantileEdgeCases: empty histograms, single values, saturation
+// above MaxValue and negative clamping.
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Record(5) // must not panic
+	nilH.RecordCorrected(5, 1)
+	if s := nilH.Snapshot(); s.Quantile(0.5) != 0 || s.Count != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+
+	h := New(Config{})
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	h.Record(777)
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := h.Snapshot().Quantile(q); got != 777 {
+			t.Errorf("single-value quantile(%v) = %d, want 777", q, got)
+		}
+	}
+
+	h = New(Config{MaxValue: 1 << 20})
+	h.Record(-5)                // clamps to 0
+	h.Record(math.MaxInt64)     // saturates into the top bucket
+	h.Record(math.MaxInt64 / 2) // likewise
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 0 {
+		t.Errorf("min = %d, want 0 (clamped)", s.Min)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("p100 = %d, want recorded max %d", got, s.Max)
+	}
+}
+
+// TestMergeAssociativeCommutative: merging is bucket addition, so every
+// association and order of the same three histograms must yield an
+// identical snapshot (counts, totals, extremes and therefore quantiles).
+func TestMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	mk := func(n int, scale int64) *Histogram {
+		h := New(Config{})
+		for i := 0; i < n; i++ {
+			h.Record(rng.Int64N(scale))
+		}
+		return h
+	}
+	fill := []func() *Histogram{
+		func() *Histogram { return mk(500, 1000) },
+		func() *Histogram { return mk(300, 1<<30) },
+		func() *Histogram { return mk(700, 1<<12) },
+	}
+	// Rebuild identical source histograms per grouping (merge mutates the
+	// receiver) by re-deriving them from fixed seeds.
+	build := func() (a, b, c *Histogram) {
+		rng = rand.New(rand.NewPCG(9, 9))
+		return fill[0](), fill[1](), fill[2]()
+	}
+
+	a, b, c := build()
+	left := New(Config{})
+	for _, h := range []*Histogram{a, b, c} { // (a+b)+c
+		if err := left.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b, c = build()
+	bc := New(Config{})
+	bc.Merge(b)
+	bc.Merge(c)
+	right := New(Config{})
+	right.Merge(a)
+	right.Merge(bc) // a+(b+c)
+
+	a, b, c = build()
+	rev := New(Config{})
+	for _, h := range []*Histogram{c, a, b} { // reordered
+		rev.Merge(h)
+	}
+
+	ls, rs, vs := left.Snapshot(), right.Snapshot(), rev.Snapshot()
+	for _, pair := range []struct {
+		name string
+		x, y Snapshot
+	}{{"associativity", ls, rs}, {"commutativity", ls, vs}} {
+		if pair.x.Count != pair.y.Count || pair.x.Sum != pair.y.Sum ||
+			pair.x.Min != pair.y.Min || pair.x.Max != pair.y.Max {
+			t.Fatalf("%s: totals differ: %+v vs %+v", pair.name, pair.x.Count, pair.y.Count)
+		}
+		for i := range pair.x.Counts {
+			if pair.x.Counts[i] != pair.y.Counts[i] {
+				t.Fatalf("%s: bucket %d differs: %d vs %d", pair.name, i, pair.x.Counts[i], pair.y.Counts[i])
+			}
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if pair.x.Quantile(q) != pair.y.Quantile(q) {
+				t.Fatalf("%s: quantile(%v) differs", pair.name, q)
+			}
+		}
+	}
+}
+
+// TestMergeMismatchedLayouts: differing configurations must refuse to
+// merge rather than silently mix incompatible bucket geometries.
+func TestMergeMismatchedLayouts(t *testing.T) {
+	a := New(Config{RelError: 0.01})
+	b := New(Config{RelError: 0.05})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched layouts succeeded")
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err == nil {
+		t.Fatal("snapshot merge of mismatched layouts succeeded")
+	}
+}
+
+// TestSnapshotMergeIntoZero: a zero-value Snapshot adopts the first
+// merged state, so callers can fold a set of snapshots without knowing
+// the configuration up front.
+func TestSnapshotMergeIntoZero(t *testing.T) {
+	h := New(Config{})
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	var acc Snapshot
+	if err := acc.Merge(h.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Merge(h.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Count != 200 || acc.Min != 1000 || acc.Max != 100000 {
+		t.Fatalf("accumulated snapshot = count %d min %d max %d", acc.Count, acc.Min, acc.Max)
+	}
+}
+
+// TestCoordinatedOmissionCorrection simulates the pinned-stall scenario
+// CO correction exists for: a FIFO server with 1ms service time fed by
+// 10ms open-loop arrivals freezes for 2 seconds mid-run. Ground truth is
+// the intended-start latency of every arrival (queue waits included).
+// Naive service-time recording misses the queued arrivals' waits
+// entirely and reports a ~1ms p99; RecordCorrected back-fills the stall
+// on a linear ramp and must recover the intended-start p99 to within the
+// ramp's granularity.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	const (
+		interval = int64(10_000_000) // 10ms arrival period
+		base     = int64(1_000_000)  // 1ms service time
+		stall    = int64(2_000_000_000)
+		nOps     = 1000
+		stallAt  = 100
+	)
+	truth := New(Config{})
+	naive := New(Config{})
+	corrected := New(Config{})
+
+	serverFree := int64(0)
+	for i := 0; i < nOps; i++ {
+		arrival := int64(i) * interval
+		start := arrival
+		if serverFree > start {
+			start = serverFree
+		}
+		svc := base
+		if i == stallAt {
+			svc = stall
+		}
+		complete := start + svc
+		serverFree = complete
+		truth.Record(complete - arrival) // intended-start latency
+		naive.Record(svc)                // what a blocked (closed-loop) probe sees
+		corrected.RecordCorrected(svc, interval)
+	}
+
+	truthP99 := truth.Snapshot().Quantile(0.99)
+	naiveP99 := naive.Snapshot().Quantile(0.99)
+	correctedP99 := corrected.Snapshot().Quantile(0.99)
+
+	if truthP99 < stall/2 {
+		t.Fatalf("scenario broken: intended-start p99 = %d, want a stall-dominated value", truthP99)
+	}
+	if naiveP99 > truthP99/100 {
+		t.Fatalf("naive p99 = %d not << truth %d; the omission being corrected is absent", naiveP99, truthP99)
+	}
+	ratio := float64(correctedP99) / float64(truthP99)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("corrected p99 = %d vs intended-start truth %d (ratio %.3f), want within 15%%",
+			correctedP99, truthP99, ratio)
+	}
+}
+
+// TestRecorderConcurrent hammers one shared Recorder from many
+// goroutines (the lock-free shard-and-merge claim, meaningful under
+// -race) and checks the merged snapshot accounts for every recording.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(Config{}, 4)
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 3))
+			for i := 0; i < perW; i++ {
+				r.Record(rng.Int64N(1 << 25))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perW)
+	}
+	if r.Count() != writers*perW {
+		t.Fatalf("Count() = %d, want %d", r.Count(), writers*perW)
+	}
+	if p50 := s.Quantile(0.5); p50 <= 0 || p50 > 1<<25 {
+		t.Fatalf("p50 = %d out of range", p50)
+	}
+
+	var nilR *Recorder
+	nilR.Record(1)
+	nilR.RecordCorrected(1, 1)
+	if nilR.Count() != 0 || nilR.Snapshot().Count != 0 {
+		t.Error("nil recorder not a no-op")
+	}
+}

@@ -1,6 +1,7 @@
 // Package obs is the stdlib-only observability subsystem of the pipeline:
-// a registry of atomic counters, gauges and fixed-bucket histograms with
-// JSON and aligned-text snapshot export; lightweight hierarchical spans
+// a registry of atomic counters, gauges, fixed-bucket histograms and
+// HDR-backed latency instruments with JSON and aligned-text snapshot
+// export; lightweight hierarchical spans
 // with monotonic timing for phase-level traces; an Observer that bundles
 // both with optional structured logging; and helpers that wire the runtime
 // profilers (pprof, execution trace) into the CLIs.
@@ -137,6 +138,7 @@ type Registry struct {
 	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
 	qualities map[string]*Quality
+	lats      map[string]*Latency
 }
 
 // NewRegistry returns an empty registry.
@@ -146,6 +148,7 @@ func NewRegistry() *Registry {
 		gauges:    make(map[string]*Gauge),
 		hists:     make(map[string]*Histogram),
 		qualities: make(map[string]*Quality),
+		lats:      make(map[string]*Latency),
 	}
 }
 
@@ -194,6 +197,22 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Latency returns the named latency-class instrument (an HDR histogram
+// over durations), creating it on first use.
+func (r *Registry) Latency(name string) *Latency {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.lats[name]
+	if !ok {
+		l = newLatency()
+		r.lats[name] = l
+	}
+	return l
 }
 
 // Quality returns the named estimator-quality stream, creating it on
@@ -281,6 +300,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Latencies  map[string]LatencySnapshot   `json:"latencies"`
 	Quality    map[string]QualitySnapshot   `json:"quality"`
 }
 
@@ -291,6 +311,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},
+		Latencies:  map[string]LatencySnapshot{},
 		Quality:    map[string]QualitySnapshot{},
 	}
 	if r == nil {
@@ -322,6 +343,9 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms[name] = hs
 	}
+	for name, l := range r.lats {
+		s.Latencies[name] = l.Snapshot()
+	}
 	for name, q := range r.qualities {
 		s.Quality[name] = q.State().Snapshot()
 	}
@@ -349,11 +373,22 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		h := s.Histograms[name]
 		fmt.Fprintf(tw, "histogram\t%s\tcount=%d sum=%.6g mean=%.6g\n", name, h.Count, h.Sum, h.Mean)
 		if h.Count > 0 {
-			fmt.Fprintf(tw, "\t  quantiles\tp50=%.6g p90=%.6g p99=%.6g\n",
-				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+			fmt.Fprintf(tw, "\t  quantiles\tp50=%.6g p90=%.6g p99=%.6g p999=%.6g\n",
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999))
 		}
 		for _, b := range h.Buckets {
 			fmt.Fprintf(tw, "\t  le=%s\t%d\n", b.LE, b.Count)
+		}
+	}
+	for _, name := range sortedKeys(s.Latencies) {
+		l := s.Latencies[name]
+		fmt.Fprintf(tw, "latency\t%s\tcount=%d mean=%v min=%v max=%v\n",
+			name, l.Count, time.Duration(l.Mean()),
+			time.Duration(l.MinNS), time.Duration(l.MaxNS))
+		if l.Count > 0 {
+			fmt.Fprintf(tw, "\t  quantiles\tp50=%v p90=%v p99=%v p999=%v\n",
+				time.Duration(l.P50NS), time.Duration(l.P90NS),
+				time.Duration(l.P99NS), time.Duration(l.P999NS))
 		}
 	}
 	for _, name := range sortedKeys(s.Quality) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestCounterConcurrent hammers one counter from many goroutines; run
@@ -86,11 +87,16 @@ func TestNilRegistryIsNoop(t *testing.T) {
 	r.Counter("x").Add(5)
 	r.Gauge("y").Set(1)
 	r.Histogram("z", TimeBuckets).Observe(3)
+	r.Latency("l").Observe(time.Millisecond)
+	r.Latency("l").ObserveCorrected(time.Second, time.Millisecond)
 	if got := r.Counter("x").Value(); got != 0 {
 		t.Fatalf("nil counter = %d", got)
 	}
+	if got := r.Latency("l").Count(); got != 0 {
+		t.Fatalf("nil latency count = %d", got)
+	}
 	snap := r.Snapshot()
-	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Latencies) != 0 {
 		t.Fatalf("nil snapshot not empty: %+v", snap)
 	}
 	var o *Observer

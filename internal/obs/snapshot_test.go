@@ -26,6 +26,10 @@ func goldenObserver() *Observer {
 	for _, v := range []float64{100, 104, 96, 102, 98} {
 		q.Observe(v)
 	}
+	lat := r.Latency("query.latency.all")
+	for i := int64(1); i <= 100; i++ {
+		lat.ObserveNS(i * 100_000) // 0.1ms .. 10ms ramp
+	}
 
 	attempt := &Span{
 		Name:       "attempt",

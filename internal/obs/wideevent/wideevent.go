@@ -1,0 +1,196 @@
+// Package wideevent emits one-line JSON "wide events": a single
+// structured record per request carrying every dimension of that request
+// — identity, kind, parameters, outcome, latency — so questions that
+// would need a new metric ("p99 of knn queries with k>32 that errored")
+// are answered by filtering the event log after the fact.
+//
+// One event per request does not survive thousands of requests per
+// second, so the writer samples: errors and slow requests (the events
+// worth keeping) are always written, and the "ok" bulk is kept 1-in-N.
+// Every event records the sampling rate it survived, so downstream
+// aggregation can re-weight counts.
+//
+// Like the rest of the obs subsystem a nil *Writer drops everything, so
+// the request path needs no gating.
+package wideevent
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one wide event. Attrs carries the request-specific dimensions
+// (query parameters, target nodes, ...) flattened into the record.
+type Event struct {
+	At        time.Time `json:"at"`
+	RequestID string    `json:"request_id,omitempty"`
+	Kind      string    `json:"kind"`
+	Outcome   string    `json:"outcome"` // "ok" or "error"
+	Error     string    `json:"error,omitempty"`
+	LatencyNS int64     `json:"latency_ns"`
+	// SampledN is the 1-in-N rate this event survived: 1 for always-kept
+	// events (errors, slow requests), the configured SampleEvery for the
+	// ok bulk. Aggregations multiply counts by it.
+	SampledN int            `json:"sampled_n"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// Options configures a Writer.
+type Options struct {
+	// SampleEvery keeps 1-in-N ok events (deterministic counter, not
+	// random, so tests and replays are stable). Values <= 1 keep all.
+	SampleEvery int
+	// SlowThreshold, when positive, always keeps events at or above this
+	// latency regardless of sampling — tail behavior is what the log is
+	// for.
+	SlowThreshold time.Duration
+}
+
+// Writer appends events as JSON lines. Safe for concurrent use; nil is
+// a no-op.
+type Writer struct {
+	opts Options
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       io.Closer
+	enc     *json.Encoder
+	seq     int64
+	written int64
+	dropped int64
+	err     error
+}
+
+// NewWriter wraps w. If w also implements io.Closer, Close closes it.
+func NewWriter(w io.Writer, opts Options) *Writer {
+	bw := bufio.NewWriter(w)
+	wr := &Writer{opts: opts, w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		wr.c = c
+	}
+	return wr
+}
+
+// Open appends to the named file (creating it if absent).
+func Open(path string, opts Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewWriter(f, opts), nil
+}
+
+// keepLocked decides an event's fate and stamps its survival rate.
+func (w *Writer) keepLocked(e *Event) bool {
+	e.SampledN = 1
+	if e.Outcome != "ok" {
+		return true
+	}
+	if w.opts.SlowThreshold > 0 && e.LatencyNS >= int64(w.opts.SlowThreshold) {
+		return true
+	}
+	if w.opts.SampleEvery <= 1 {
+		return true
+	}
+	w.seq++
+	if (w.seq-1)%int64(w.opts.SampleEvery) == 0 {
+		e.SampledN = w.opts.SampleEvery
+		return true
+	}
+	return false
+}
+
+// Write records one event, subject to sampling. The first write error
+// sticks and is returned by Close (and every later Write). No-op on nil.
+func (w *Writer) Write(e Event) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.keepLocked(&e) {
+		w.dropped++
+		return nil
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.enc.Encode(e); err != nil {
+		w.err = err
+		return err
+	}
+	w.written++
+	return nil
+}
+
+// Written returns the number of events written so far (0 on nil).
+func (w *Writer) Written() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// Dropped returns the number of events the sampler discarded.
+func (w *Writer) Dropped() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Close flushes buffered events and closes the underlying file, if the
+// writer owns one. Safe on nil.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	if ferr := w.w.Flush(); err == nil {
+		err = ferr
+	}
+	if w.c != nil {
+		if cerr := w.c.Close(); err == nil {
+			err = cerr
+		}
+		w.c = nil
+	}
+	return err
+}
+
+// Read parses a wide-event log (one JSON object per line) back into
+// events — the replay/analysis side of the format.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadFile reads a wide-event log from disk.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

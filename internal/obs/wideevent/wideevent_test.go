@@ -1,0 +1,156 @@
+package wideevent
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(outcome string, lat time.Duration) Event {
+	return Event{At: time.Unix(100, 0).UTC(), Kind: "pair_reliability",
+		Outcome: outcome, LatencyNS: int64(lat)}
+}
+
+// TestSamplingPolicy: errors and slow events always survive; ok events
+// are kept deterministically 1-in-N with the rate stamped on them.
+func TestSamplingPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{SampleEvery: 10, SlowThreshold: 50 * time.Millisecond})
+
+	for i := 0; i < 100; i++ {
+		if err := w.Write(ev("ok", time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Write(ev("error", time.Millisecond))
+	w.Write(ev("ok", time.Second)) // slow: bypasses sampling
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 ok events at 1-in-10 = 10 kept, plus the error and the slow one.
+	if len(events) != 12 {
+		t.Fatalf("kept %d events, want 12", len(events))
+	}
+	if w.Written() != 12 || w.Dropped() != 90 {
+		t.Fatalf("written/dropped = %d/%d, want 12/90", w.Written(), w.Dropped())
+	}
+	var okSampled, alwaysKept int
+	for _, e := range events {
+		switch {
+		case e.Outcome == "error", e.LatencyNS >= int64(50*time.Millisecond):
+			alwaysKept++
+			if e.SampledN != 1 {
+				t.Fatalf("always-kept event has sampled_n=%d", e.SampledN)
+			}
+		default:
+			okSampled++
+			if e.SampledN != 10 {
+				t.Fatalf("sampled ok event has sampled_n=%d, want 10", e.SampledN)
+			}
+		}
+	}
+	if okSampled != 10 || alwaysKept != 2 {
+		t.Fatalf("okSampled=%d alwaysKept=%d", okSampled, alwaysKept)
+	}
+	// Re-weighting the sampled events recovers the true ok count.
+	total := 0
+	for _, e := range events {
+		if e.Outcome == "ok" && e.LatencyNS < int64(50*time.Millisecond) {
+			total += e.SampledN
+		}
+	}
+	if total != 100 {
+		t.Fatalf("re-weighted ok count = %d, want 100", total)
+	}
+}
+
+// TestRoundTripFile: Open/Write/Close then ReadFile preserves every
+// field, including nested attrs.
+func TestRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Event{
+		At: time.Unix(42, 0).UTC(), RequestID: "q-00000001", Kind: "knn",
+		Outcome: "ok", LatencyNS: 123456,
+		Attrs: map[string]any{"u": float64(7), "k": float64(10)},
+	}
+	if err := w.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	w.Write(Event{At: time.Unix(43, 0).UTC(), Kind: "degree", Outcome: "error", Error: "node out of range"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events", len(events))
+	}
+	got := events[0]
+	if got.RequestID != in.RequestID || got.Kind != in.Kind || got.LatencyNS != in.LatencyNS ||
+		!got.At.Equal(in.At) || got.Attrs["u"] != in.Attrs["u"] || got.SampledN != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if events[1].Error != "node out of range" || events[1].Outcome != "error" {
+		t.Fatalf("error event mismatch: %+v", events[1])
+	}
+}
+
+// TestConcurrentWrites: the writer serializes concurrent events into
+// valid JSONL (meaningful under -race).
+func TestConcurrentWrites(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{SampleEvery: 3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Write(ev("ok", time.Microsecond))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("concurrent writes corrupted the log: %v", err)
+	}
+	if int64(len(events)) != w.Written() {
+		t.Fatalf("parsed %d events, writer reports %d", len(events), w.Written())
+	}
+	// Deterministic 1-in-3 regardless of interleaving: ceil(1600/3).
+	if len(events) != 534 {
+		t.Fatalf("kept %d, want 534", len(events))
+	}
+}
+
+// TestNilWriter: the nil writer absorbs everything.
+func TestNilWriter(t *testing.T) {
+	var w *Writer
+	if err := w.Write(ev("ok", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != 0 || w.Dropped() != 0 {
+		t.Fatal("nil writer counted something")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package query
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler exposes the engine over HTTP: POST a JSON Request, receive a
+// JSON Response. Request validation failures map to 400 with the error
+// in the response body; engine failures map to 500. The expose server
+// mounts it at /query so the live metrics plane and the query plane
+// share one listener.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "query: POST a JSON request", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, Response{Error: "query: bad request body: " + err.Error()})
+			return
+		}
+		resp, err := e.Do(r.Context(), req)
+		status := http.StatusOK
+		switch {
+		case err == nil:
+		case IsBadRequest(err):
+			status = http.StatusBadRequest
+		default:
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, resp)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}

@@ -3,6 +3,7 @@ package reliability
 import (
 	"math"
 	"sync"
+	"time"
 
 	"chameleon/internal/uncertain"
 )
@@ -221,6 +222,21 @@ func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
 		e.Cache.put(e.labelKeyFor(g), ls)
 	}
 	return ls
+}
+
+// WarmCache samples and memoizes g's component labels under this
+// estimator's configuration, so subsequent cache-routed calls
+// (PairReliability, ReliabilityVector, ExpectedConnectedPairs,
+// Discrepancy) are pure lookups. The query plane calls it once at
+// startup to keep the sampling cost off the first request's latency.
+// No-op without a Cache; a cancelled warm-up (Estimator.Ctx) leaves the
+// cache unpopulated.
+func (e Estimator) WarmCache(g *uncertain.Graph) {
+	if e.Cache == nil {
+		return
+	}
+	defer e.timeOp("WarmCache", time.Now())
+	e.sampleLabelsT(g)
 }
 
 // releaseLabels hands an uncached label set back to the pool once a caller

@@ -1,0 +1,88 @@
+package reliability
+
+import (
+	"testing"
+
+	"chameleon/internal/obs"
+	"chameleon/internal/uncertain"
+)
+
+// TestPairReliabilityCachedParity: with a LabelCache attached the
+// fixed-budget estimate must match the uncached path bit-for-bit (same
+// seed draws the same worlds; labels encode the same connectivity), and
+// repeated calls must be served from the cache without resampling.
+func TestPairReliabilityCachedParity(t *testing.T) {
+	g := randomGraph(3, 40, 120)
+	o := obs.NewObserver()
+	plain := Estimator{Samples: 600, Seed: 11, Workers: 2}
+	cached := Estimator{Samples: 600, Seed: 11, Workers: 2, Cache: NewLabelCache(), Obs: o}
+
+	pairs := [][2]uncertain.NodeID{{0, 1}, {5, 17}, {2, 39}, {12, 12}}
+	for _, p := range pairs {
+		want := plain.PairReliability(g, p[0], p[1])
+		got := cached.PairReliability(g, p[0], p[1])
+		if got != want {
+			t.Fatalf("PairReliability(%d,%d) cached = %v, uncached = %v", p[0], p[1], got, want)
+		}
+	}
+	snap := o.Registry().Snapshot()
+	// First call misses and samples; the rest are label-matrix lookups.
+	if snap.Counters["mc.label_cache.misses"] != 1 {
+		t.Fatalf("misses = %d, want 1", snap.Counters["mc.label_cache.misses"])
+	}
+	if snap.Counters["mc.label_cache.hits"] != int64(len(pairs)-1) {
+		t.Fatalf("hits = %d, want %d", snap.Counters["mc.label_cache.hits"], len(pairs)-1)
+	}
+	if ops := snap.Counters["mc.ops.PairReliability"]; ops != int64(len(pairs)) {
+		t.Fatalf("mc.ops.PairReliability = %d, want %d", ops, len(pairs))
+	}
+	if lat := snap.Latencies["mc.latency.PairReliability"]; lat.Count != int64(len(pairs)) {
+		t.Fatalf("latency count = %d, want %d", lat.Count, len(pairs))
+	}
+}
+
+// TestReliabilityVectorCachedParity: the cache-routed vector equals the
+// uncached one for every target, and a warmed cache serves it without
+// further sampling.
+func TestReliabilityVectorCachedParity(t *testing.T) {
+	g := randomGraph(7, 30, 80)
+	o := obs.NewObserver()
+	plain := Estimator{Samples: 400, Seed: 5}
+	cached := Estimator{Samples: 400, Seed: 5, Cache: NewLabelCache(), Obs: o}
+
+	cached.WarmCache(g)
+	base := o.Registry().Snapshot().Counters["mc.worlds_sampled"]
+	if base == 0 {
+		t.Fatal("WarmCache sampled nothing")
+	}
+
+	want := plain.ReliabilityVector(g, 4)
+	got := cached.ReliabilityVector(g, 4)
+	if len(got) != len(want) {
+		t.Fatalf("vector length %d vs %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("R[%d] cached = %v, uncached = %v", v, got[v], want[v])
+		}
+	}
+	if got[4] != 1 {
+		t.Fatal("self-reliability must be 1")
+	}
+	after := o.Registry().Snapshot().Counters["mc.worlds_sampled"]
+	if after != base {
+		t.Fatalf("cached ReliabilityVector resampled: worlds %d -> %d", base, after)
+	}
+}
+
+// TestWarmCacheNoop: without a cache WarmCache does nothing (and must
+// not panic or pollute the pool with a retained label set).
+func TestWarmCacheNoop(t *testing.T) {
+	g := smallGraph()
+	o := obs.NewObserver()
+	e := Estimator{Samples: 64, Seed: 1, Obs: o}
+	e.WarmCache(g)
+	if n := o.Registry().Snapshot().Counters["mc.worlds_sampled"]; n != 0 {
+		t.Fatalf("cache-less WarmCache sampled %d worlds", n)
+	}
+}

@@ -163,15 +163,19 @@ func (e Estimator) rngFor(i int) *rand.Rand {
 }
 
 // timeOp records one completed estimator operation: its wall time into a
-// per-operation histogram and an invocation counter. Call it deferred with
-// the operation's start time; with Obs nil it costs one pointer test.
+// per-operation latency instrument (mc.latency.<op>, an HDR histogram
+// whose p50/p99/p999 hold across the microsecond-to-minute range — the
+// old fixed-bucket mc.seconds.* histograms clamped fast-op quantiles to
+// the largest finite bound) and an invocation counter. Call it deferred
+// with the operation's start time; with Obs nil it costs one pointer
+// test.
 func (e Estimator) timeOp(name string, start time.Time) {
 	if e.Obs == nil {
 		return
 	}
 	reg := e.Obs.Registry()
 	reg.Counter("mc.ops." + name).Inc()
-	reg.Histogram("mc.seconds."+name, obs.TimeBuckets).ObserveDuration(time.Since(start))
+	reg.Latency("mc.latency." + name).Observe(time.Since(start))
 }
 
 // scratch is one worker's reusable Monte Carlo state: the PCG that is
@@ -821,9 +825,32 @@ func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 }
 
 // PairReliability estimates R_{u,v}(G) (Definition 1): the probability that
-// u and v are connected.
+// u and v are connected. With a Cache attached the estimate is read off
+// the memoized component labels — identical worlds, identical labels, so
+// the value matches the uncached fixed-budget path bit-for-bit, and a
+// warm cache answers in O(N) label comparisons without sampling.
 func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) float64 {
 	defer e.timeOp("PairReliability", time.Now())
+	if e.Cache != nil {
+		ls := e.sampleLabelsT(g)
+		ru, rv := ls.row(int(u)), ls.row(int(v))
+		var w obs.Welford
+		hits := 0
+		for s := range ru {
+			if ru[s] == rv[s] {
+				hits++
+				w.Add(1)
+			} else {
+				w.Add(0)
+			}
+		}
+		e.recordQuality("PairReliability", w)
+		n := len(ru)
+		if n == 0 {
+			n = 1 // cancelled before any world: caller discards via Ctx.Err()
+		}
+		return float64(hits) / float64(n)
+	}
 	hits := make([]int8, e.budget())
 	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
 		if sc.components().Connected(int(u), int(v)) {
@@ -842,9 +869,34 @@ func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) fl
 }
 
 // ReliabilityVector estimates R_{src,v} for every v against a single
-// source; handy for k-nearest-neighbor style queries (cf. [30]).
+// source; handy for k-nearest-neighbor style queries (cf. [30]). With a
+// Cache attached the vector is computed from the memoized transposed
+// labels (same worlds, same values as the uncached path), so repeated
+// k-NN queries against one graph sample it exactly once.
 func (e Estimator) ReliabilityVector(g *uncertain.Graph, src uncertain.NodeID) []float64 {
 	defer e.timeOp("ReliabilityVector", time.Now())
+	if e.Cache != nil {
+		ls := e.sampleLabelsT(g)
+		out := make([]float64, g.NumNodes())
+		rs := ls.row(int(src))
+		n := len(rs)
+		if n == 0 {
+			n = 1 // cancelled before any world: caller discards via Ctx.Err()
+		}
+		inv := 1 / float64(n)
+		for v := range out {
+			rv := ls.row(v)
+			c := 0
+			for s := range rs {
+				if rv[s] == rs[s] {
+					c++
+				}
+			}
+			out[v] = float64(c) * inv
+		}
+		out[src] = 1
+		return out
+	}
 	labels := e.SampleLabels(g)
 	out := make([]float64, g.NumNodes())
 	n := 0

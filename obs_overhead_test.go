@@ -1,6 +1,7 @@
 package chameleon
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"os"
@@ -11,7 +12,9 @@ import (
 	"chameleon/internal/core"
 	"chameleon/internal/obs"
 	"chameleon/internal/obs/expose"
+	"chameleon/internal/query"
 	"chameleon/internal/reliability"
+	"chameleon/internal/uncertain"
 )
 
 // TestObsOverheadGuard enforces the instrumentation budget: with
@@ -85,6 +88,25 @@ func TestObsOverheadGuard(t *testing.T) {
 				est := reliability.Estimator{Samples: 150, Seed: 1, Obs: o}
 				for i := 0; i < b.N; i++ {
 					est.EdgeRelevance(g)
+				}
+			}
+		}},
+		{"query.Do", func(o *obs.Observer) func(b *testing.B) {
+			// The query plane adds per-request instrumentation (counters,
+			// HDR latency records, sampled spans, wide-event hooks) on top
+			// of a cache-served estimate; with a nil observer all of it
+			// must cost a pointer test. Warm outside the measured loop so
+			// only the steady-state request path is compared.
+			eng := query.New(g, query.Options{Samples: 100, Seed: 7, Obs: o})
+			eng.Warm(context.Background())
+			return func(b *testing.B) {
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					req := query.Request{Kind: query.KindPairReliability,
+						U: 0, V: uncertain.NodeID(1 + i%64)}
+					if _, err := eng.Do(ctx, req); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		}},

@@ -1,0 +1,53 @@
+package chameleon
+
+import (
+	"chameleon/internal/obs/wideevent"
+	"chameleon/internal/query"
+)
+
+// QueryEngine is the in-process query plane: typed queries (pairwise
+// reliability, k-NN, degree and centrality metrics) over one uncertain
+// graph behind a shared label cache, with per-request IDs, HDR latency
+// instruments, sampled spans and optional wide-event request logs. It
+// is what cmd/ugload load-tests and what Serve can mount at /query.
+type QueryEngine = query.Engine
+
+// QueryOptions configures NewQueryEngine.
+type QueryOptions = query.Options
+
+// QueryRequest is one typed query descriptor.
+type QueryRequest = query.Request
+
+// QueryResponse is the answer to one QueryRequest.
+type QueryResponse = query.Response
+
+// NewQueryEngine builds a query engine over g.
+func NewQueryEngine(g *Graph, opts QueryOptions) *QueryEngine {
+	return query.New(g, opts)
+}
+
+// IsBadQuery reports whether err is a request-validation failure (as
+// opposed to an engine failure); the HTTP layer maps these to 400.
+func IsBadQuery(err error) bool { return query.IsBadRequest(err) }
+
+// WideEvent is one structured request-log record: every dimension of a
+// single request (identity, kind, parameters, outcome, latency) in one
+// JSON line.
+type WideEvent = wideevent.Event
+
+// WideEventOptions configures a wide-event writer's sampling policy.
+type WideEventOptions = wideevent.Options
+
+// WideEventWriter appends sampled wide events as JSON lines. A nil
+// writer drops everything.
+type WideEventWriter = wideevent.Writer
+
+// OpenWideEvents opens (creating or appending) a wide-event log at path.
+func OpenWideEvents(path string, opts WideEventOptions) (*WideEventWriter, error) {
+	return wideevent.Open(path, opts)
+}
+
+// ReadWideEvents reads a wide-event log back from disk.
+func ReadWideEvents(path string) ([]WideEvent, error) {
+	return wideevent.ReadFile(path)
+}

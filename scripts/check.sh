@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: vet, formatting, the full test suite under the race detector,
-# and a benchmark pass over the instrumented hot paths whose results land
-# in BENCH_obs.json so successive PRs leave a perf trajectory.
+# a benchmark pass over the instrumented hot paths whose results land in
+# BENCH_obs.json so successive PRs leave a perf trajectory, and a short
+# ugload run whose BENCH_load.json gates query-plane p99 latency.
 #
 # Environment knobs:
 #   BENCHTIME          go test -benchtime value for the perf pass (default 1s)
@@ -42,7 +43,10 @@ echo "== go test -race -count=2 (telemetry, MC workers, CLI runner) =="
 # pass is ever narrowed. internal/uncertain rides along because the
 # coupled/antithetic/stratified sampler kernels are what those worker
 # pools now race over (adaptive rounds share one sampler snapshot).
-go test -race -count=2 ./internal/obs/... ./internal/reliability/... ./internal/uncertain/... ./cmd/internal/runner/...
+# internal/query is the newest cross-goroutine surface: the load harness
+# hammers one engine (and its shared label cache, HDR recorder shards and
+# wide-event writer) from many goroutines at once.
+go test -race -count=2 ./internal/obs/... ./internal/query/... ./internal/reliability/... ./internal/uncertain/... ./cmd/internal/runner/...
 
 coverage_floor="${COVERAGE_FLOOR:-78.4}"
 echo "== coverage (floor ${coverage_floor}%) =="
@@ -167,15 +171,43 @@ if ! awk -v f="${fixed_n:-0}" -v c="${crn_n:-0}" 'BEGIN { exit !(c > 0 && f / c 
 fi
 echo "sample-efficiency gate: fixed ${fixed_n} vs adaptive-crn ${crn_n} samples (>= 5x)"
 
+echo "== ugload smoke (query-plane SLO, open + closed loop) =="
+# A short load run in both loop disciplines against a small generated
+# graph. This validates the whole query plane end to end (dispatcher,
+# label cache, HDR recording, CO correction, artifact writer) and
+# enforces a generous p99 sanity SLO — 500ms on a ~200-node graph only
+# trips when something is catastrophically wrong, not on CI noise. The
+# BENCH_load.json it writes joins the regression gate below.
+go run ./cmd/ugload -nodes 200 -mode both -qps 400 -workers 16 \
+    -duration 1s -warmup 200ms -seed 1 -slo-p99 500ms \
+    -bench-out BENCH_load.json
+for name in "ugload/open" "ugload/closed"; do
+    if ! grep -q "\"name\": \"$name\"" BENCH_load.json; then
+        echo "ugload smoke: BENCH_load.json is missing the $name entry" >&2
+        exit 1
+    fi
+done
+for field in p50_ns p99_ns p999_ns qps error_rate; do
+    if ! grep -q "\"$field\"" BENCH_load.json; then
+        echo "ugload smoke: BENCH_load.json is missing the $field field" >&2
+        exit 1
+    fi
+done
+echo "wrote BENCH_load.json ($(grep -c '"name"' BENCH_load.json) entries)"
+
 echo "== benchmark regression gate (vs committed baseline) =="
 if [ "${SKIP_BENCH_GATE:-}" = "1" ]; then
     echo "SKIP_BENCH_GATE=1: regression gate skipped"
 else
     basedir=$(mktemp -d)
     trap 'rm -rf "$basedir"' EXIT
-    for f in BENCH_obs.json BENCH_reliability.json BENCH_mc.json; do
+    # BENCH_mc.json gates sample counts (wall time is a function of
+    # them) and BENCH_load.json gates p99 latency (its ns_per_op mean
+    # is the noisiest column of a wall-clock load run), so both run
+    # with -skip-ns; benchcmp still gates their own metrics.
+    for f in BENCH_obs.json BENCH_reliability.json BENCH_mc.json BENCH_load.json; do
         skip_ns=""
-        if [ "$f" = "BENCH_mc.json" ]; then
+        if [ "$f" = "BENCH_mc.json" ] || [ "$f" = "BENCH_load.json" ]; then
             skip_ns="-skip-ns"
         fi
         if git show "HEAD:$f" > "$basedir/$f" 2>/dev/null; then
