@@ -1,8 +1,9 @@
 // Command benchcmp compares two benchmark-artifact JSON files (the
-// BENCH_obs.json / BENCH_reliability.json / BENCH_mc.json schema written
-// by scripts/check.sh: an array of {name, ns_per_op, allocs_per_op,
-// iterations, samples_to_target_rse?} records) and fails when any
-// benchmark present in both got slower than the allowed budget.
+// BENCH_obs.json / BENCH_reliability.json / BENCH_mc.json /
+// BENCH_format.json schema written by scripts/check.sh: an array of
+// {name, ns_per_op, allocs_per_op, iterations, samples_to_target_rse?,
+// bytes_on_disk?} records) and fails when any benchmark present in both
+// got slower than the allowed budget.
 //
 // Usage:
 //
@@ -47,6 +48,11 @@ type entry struct {
 	P999NS    int64   `json:"p999_ns,omitempty"`
 	QPS       float64 `json:"qps,omitempty"`
 	ErrorRate float64 `json:"error_rate,omitempty"`
+	// Format-artifact extension (BENCH_format.json): encoded size of the
+	// benchmark graph in that format. Size is deterministic, so unlike
+	// wall time any growth beyond the budget is a real encoding
+	// regression; it is gated even under -skip-ns.
+	BytesOnDisk int64 `json:"bytes_on_disk,omitempty"`
 }
 
 func main() {
@@ -96,6 +102,12 @@ func main() {
 		if b.P99NS > 0 && e.P99NS > 0 {
 			if 100*float64(e.P99NS-b.P99NS)/float64(b.P99NS) > *maxSlowdown {
 				mark = "REGRESSION (p99)"
+				regressions++
+			}
+		}
+		if b.BytesOnDisk > 0 && e.BytesOnDisk > 0 {
+			if 100*float64(e.BytesOnDisk-b.BytesOnDisk)/float64(b.BytesOnDisk) > *maxSlowdown {
+				mark = "REGRESSION (bytes)"
 				regressions++
 			}
 		}

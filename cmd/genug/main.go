@@ -6,6 +6,7 @@
 //	genug -dataset dblp-s -seed 7 -o dblp.tsv
 //	genug -topology ba -nodes 1000 -degree 3 -probs uniform -o g.tsv
 //	genug -topology er -nodes 500 -edges 2000 -probs small -o g.tsv
+//	genug -topology er -nodes 1000000 -edges 10000000 -format v2 -stream -o big.ug2
 package main
 
 import (
@@ -34,11 +35,18 @@ func main() {
 		probs    = flag.String("probs", "uniform", "probability profile: uniform | small | discrete")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		out      = flag.String("o", "", "output file (default stdout)")
-		binaryF  = flag.Bool("binary", false, "write the compact binary format instead of TSV")
+		binaryF  = flag.Bool("binary", false, "shorthand for -format v1 (kept for compatibility)")
+		format   = flag.String("format", "", "output format: tsv | v1 | v2 (default tsv; v1 = legacy binary triples, v2 = sectioned binary)")
+		stream   = flag.Bool("stream", false, "stream straight to disk without materializing the graph (er topology, v2 format only)")
 	)
 	flag.Parse()
 
-	err := run(*dataset, *topology, *nodes, *edges, *degree, *blocks, *pin, *pout, *probs, *seed, *out, *binaryF)
+	err := run(config{
+		dataset: *dataset, topology: *topology,
+		nodes: *nodes, edges: *edges, degree: *degree, blocks: *blocks,
+		pin: *pin, pout: *pout, probs: *probs, seed: *seed,
+		out: *out, binaryF: *binaryF, format: *format, stream: *stream,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genug:", err)
 		if errors.As(err, new(runner.UsageError)) {
@@ -48,58 +56,143 @@ func main() {
 	os.Exit(runner.ExitCode(err))
 }
 
-func run(dataset, topology string, nodes, edges, degree, blocks int, pin, pout float64, probs string, seed uint64, out string, binaryF bool) error {
-	g, err := build(dataset, topology, nodes, edges, degree, blocks, pin, pout, probs, seed)
+type config struct {
+	dataset, topology    string
+	nodes, edges, degree int
+	blocks               int
+	pin, pout            float64
+	probs                string
+	seed                 uint64
+	out                  string
+	binaryF              bool
+	format               string
+	stream               bool
+}
+
+// resolveFormat merges the -format flag with the legacy -binary shorthand.
+func resolveFormat(format string, binaryF bool) (string, error) {
+	switch format {
+	case "":
+		if binaryF {
+			return "v1", nil
+		}
+		return "tsv", nil
+	case "tsv", "v1", "v2":
+		if binaryF && format == "tsv" {
+			return "", runner.Usagef("-binary conflicts with -format tsv")
+		}
+		return format, nil
+	default:
+		return "", runner.Usagef("unknown format %q (want tsv, v1 or v2)", format)
+	}
+}
+
+func run(c config) error {
+	format, err := resolveFormat(c.format, c.binaryF)
 	if err != nil {
 		return err
 	}
-	if out == "" {
-		return uncertain.WriteTSV(os.Stdout, g)
+
+	if c.stream {
+		// The streaming path writes v2 sections straight to the output,
+		// skipping graph materialization entirely; it exists precisely for
+		// graphs too big to hold as a *Graph.
+		if c.dataset != "" || c.topology != "er" {
+			return runner.Usagef("-stream supports only -topology er")
+		}
+		if format != "v2" {
+			return runner.Usagef("-stream requires -format v2")
+		}
+		pa, err := probAssigner(c.probs)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewPCG(c.seed, 0xda7a5e7))
+		w := os.Stdout
+		if c.out != "" {
+			f, err := os.Create(c.out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := gen.StreamErdosRenyi(w, c.nodes, c.edges, pa, rng); err != nil {
+			return err
+		}
+		if c.out != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s: %d nodes, %d edges (streamed v2)\n", c.out, c.nodes, c.edges)
+		}
+		return nil
+	}
+
+	g, err := build(c)
+	if err != nil {
+		return err
+	}
+	if c.out == "" {
+		switch format {
+		case "v1":
+			return uncertain.WriteBinary(os.Stdout, g)
+		case "v2":
+			return uncertain.WriteBinaryV2(os.Stdout, g)
+		default:
+			return uncertain.WriteTSV(os.Stdout, g)
+		}
 	}
 	save := uncertain.SaveFile
-	if binaryF {
+	switch format {
+	case "v1":
 		save = uncertain.SaveBinaryFile
+	case "v2":
+		save = uncertain.SaveBinaryV2File
 	}
-	if err := save(out, g); err != nil {
+	if err := save(c.out, g); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d nodes, %d edges, mean p %.3f\n",
-		out, g.NumNodes(), g.NumEdges(), g.MeanProb())
+		c.out, g.NumNodes(), g.NumEdges(), g.MeanProb())
 	return nil
 }
 
-func build(dataset, topology string, nodes, edges, degree, blocks int, pin, pout float64, probs string, seed uint64) (*uncertain.Graph, error) {
-	rng := rand.New(rand.NewPCG(seed, 0xda7a5e7))
-	if dataset != "" {
-		d, err := gen.DatasetByName(dataset)
+func probAssigner(probs string) (gen.ProbAssigner, error) {
+	switch probs {
+	case "uniform":
+		return gen.UniformProbs(0.05, 0.95), nil
+	case "small":
+		return gen.SmallProbs(0.29), nil
+	case "discrete":
+		return gen.DiscreteProbs(
+			[]float64{0.13, 0.28, 0.46, 0.64, 0.80},
+			[]float64{0.15, 0.23, 0.27, 0.22, 0.13},
+		), nil
+	default:
+		return nil, runner.Usagef("unknown probability profile %q", probs)
+	}
+}
+
+func build(c config) (*uncertain.Graph, error) {
+	rng := rand.New(rand.NewPCG(c.seed, 0xda7a5e7))
+	if c.dataset != "" {
+		d, err := gen.DatasetByName(c.dataset)
 		if err != nil {
 			return nil, runner.UsageError{Err: fmt.Errorf("%w (known: %s)", err, strings.Join(datasetNames(), ", "))}
 		}
 		return d.Build(rng)
 	}
-	var pa gen.ProbAssigner
-	switch probs {
-	case "uniform":
-		pa = gen.UniformProbs(0.05, 0.95)
-	case "small":
-		pa = gen.SmallProbs(0.29)
-	case "discrete":
-		pa = gen.DiscreteProbs(
-			[]float64{0.13, 0.28, 0.46, 0.64, 0.80},
-			[]float64{0.15, 0.23, 0.27, 0.22, 0.13},
-		)
-	default:
-		return nil, runner.Usagef("unknown probability profile %q", probs)
+	pa, err := probAssigner(c.probs)
+	if err != nil {
+		return nil, err
 	}
-	switch topology {
+	switch c.topology {
 	case "ba":
-		return gen.BarabasiAlbert(nodes, degree, pa, rng)
+		return gen.BarabasiAlbert(c.nodes, c.degree, pa, rng)
 	case "er":
-		return gen.ErdosRenyi(nodes, edges, pa, rng)
+		return gen.ErdosRenyi(c.nodes, c.edges, pa, rng)
 	case "sbm":
-		return gen.SBM(nodes, blocks, pin, pout, pa, rng)
+		return gen.SBM(c.nodes, c.blocks, c.pin, c.pout, pa, rng)
 	default:
-		return nil, runner.Usagef("unknown topology %q", topology)
+		return nil, runner.Usagef("unknown topology %q", c.topology)
 	}
 }
 

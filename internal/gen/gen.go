@@ -47,7 +47,14 @@ func DiscreteProbs(values, weights []float64) ProbAssigner {
 // SmallProbs assigns predominantly small probabilities: an exponential
 // with the given mean, truncated to (0, 1]. Reproduces the BRIGHTKITE
 // profile ("probability values are generally very small", Fig. 3a).
+//
+// The mean must be positive: with mean <= 0 (or NaN) the rejection loop
+// can never produce a value in (0, 1], so construction panics instead of
+// handing back an assigner that spins forever on first use.
 func SmallProbs(mean float64) ProbAssigner {
+	if !(mean > 0) {
+		panic(fmt.Sprintf("gen: SmallProbs mean must be > 0, got %v", mean))
+	}
 	return func(rng *rand.Rand) float64 {
 		for {
 			p := rng.ExpFloat64() * mean
@@ -58,12 +65,32 @@ func SmallProbs(mean float64) ProbAssigner {
 	}
 }
 
-// ErdosRenyi generates G(n, m): m distinct uniformly random edges over n
-// vertices, probabilities drawn from pa.
-func ErdosRenyi(n, m int, pa ProbAssigner, rng *rand.Rand) (*uncertain.Graph, error) {
+// checkERShape validates the G(n, m) request shared by ErdosRenyi and
+// StreamErdosRenyi. Beyond the impossible case (m over the complete-graph
+// count), it rejects near-complete requests up front: both generators
+// place edges by rejection sampling, whose expected retries per edge grow
+// like maxEdges/(maxEdges-m), so asking for m within ~1% of complete
+// degrades to quadratic-and-worse work. The cutoff only engages for
+// graphs large enough (maxEdges >= 100) for the retry cost to matter; a
+// deterministic precondition beats a retry counter, which would make
+// failure a coin flip of the seed.
+func checkERShape(n, m int) error {
 	maxEdges := int64(n) * int64(n-1) / 2
 	if int64(m) > maxEdges {
-		return nil, fmt.Errorf("gen: cannot place %d edges in a %d-vertex simple graph", m, n)
+		return fmt.Errorf("gen: cannot place %d edges in a %d-vertex simple graph", m, n)
+	}
+	if maxEdges >= 100 && int64(m) > maxEdges-maxEdges/100 {
+		return fmt.Errorf("gen: %d edges is within 1%% of the complete %d-vertex graph (%d); rejection sampling degenerates, generate the dense graph directly", m, n, maxEdges)
+	}
+	return nil
+}
+
+// ErdosRenyi generates G(n, m): m distinct uniformly random edges over n
+// vertices, probabilities drawn from pa. Near-complete requests (m within
+// ~1% of the complete-graph edge count) are rejected; see checkERShape.
+func ErdosRenyi(n, m int, pa ProbAssigner, rng *rand.Rand) (*uncertain.Graph, error) {
+	if err := checkERShape(n, m); err != nil {
+		return nil, err
 	}
 	g := uncertain.New(n)
 	for g.NumEdges() < m {

@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"io"
+	"math/rand/v2"
+	"slices"
+
+	"chameleon/internal/uncertain"
+)
+
+// StreamErdosRenyi writes G(n, m) straight to w in the sectioned v2
+// binary format without ever materializing an edge slice of Edge structs,
+// a *Graph, or its adjacency: the working state is one packed uint64 per
+// edge (the canonical endpoints) plus the v2 writer's ~11 bytes/edge
+// buffers, so a million-node, ten-million-edge graph generates in a few
+// hundred MB instead of the multiple GB a *Graph would take.
+//
+// The edge set is drawn by sample-sort-dedup-top-up rounds: draw the
+// missing number of random canonical pairs, sort the packed codes, drop
+// duplicates, repeat until m distinct edges remain. Each round's survivors
+// are uniform over the remaining pairs, so the final set is exactly a
+// uniform m-subset — the same distribution as ErdosRenyi, though not the
+// same edges for the same seed, since the two consume the stream
+// differently. Probabilities are drawn from pa in sorted edge order.
+//
+// The shape preconditions match ErdosRenyi (checkERShape): impossible and
+// near-complete requests fail up front.
+func StreamErdosRenyi(w io.Writer, n, m int, pa ProbAssigner, rng *rand.Rand) error {
+	if err := checkERShape(n, m); err != nil {
+		return err
+	}
+	codes := make([]uint64, 0, m+m/8)
+	for len(codes) < m {
+		// Top up with the missing count plus slack for collisions; the
+		// near-complete guard keeps the expected collision rate low.
+		need := m - len(codes)
+		for i := 0; i < need+need/8+8 && len(codes) < cap(codes); i++ {
+			u := uncertain.NodeID(rng.IntN(n))
+			v := uncertain.NodeID(rng.IntN(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			codes = append(codes, uint64(u)<<32|uint64(v))
+		}
+		slices.Sort(codes)
+		codes = slices.Compact(codes)
+		if len(codes) > m {
+			// Overshoot: dropping a uniformly random subset keeps the
+			// remaining set uniform. Dropping the largest codes would not,
+			// so evict random positions and re-sort.
+			for len(codes) > m {
+				i := rng.IntN(len(codes))
+				codes[i] = codes[len(codes)-1]
+				codes = codes[:len(codes)-1]
+			}
+			slices.Sort(codes)
+		}
+	}
+	vw, err := uncertain.NewV2Writer(w, n)
+	if err != nil {
+		return err
+	}
+	for _, c := range codes {
+		u := uncertain.NodeID(c >> 32)
+		v := uncertain.NodeID(c & 0xFFFFFFFF)
+		if err := vw.AddEdge(u, v, pa(rng)); err != nil {
+			return err
+		}
+	}
+	return vw.Close()
+}

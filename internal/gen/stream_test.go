@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chameleon/internal/uncertain"
+)
+
+// TestSmallProbsRejectsNonPositiveMean locks the construction guard: a
+// mean <= 0 used to hand back an assigner whose rejection loop could
+// never terminate, hanging the caller on the first edge.
+func TestSmallProbsRejectsNonPositiveMean(t *testing.T) {
+	for _, mean := range []float64{0, -0.5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SmallProbs(%v) should panic", mean)
+				}
+			}()
+			SmallProbs(mean)
+		}()
+	}
+}
+
+// TestErdosRenyiRejectsNearComplete locks the dense-request guard: asking
+// for an edge count within ~1% of the complete graph used to send the
+// rejection sampler into a near-infinite retry loop instead of failing.
+func TestErdosRenyiRejectsNearComplete(t *testing.T) {
+	// n=100: maxEdges = 4950, the guard engages above 4901 edges.
+	if _, err := ErdosRenyi(100, 4950, UniformProbs(0, 1), rng(6)); err == nil {
+		t.Fatal("complete-graph request should error")
+	} else if !strings.Contains(err.Error(), "1%") {
+		t.Fatalf("want the dense-guard error, got %v", err)
+	}
+	// Just under the cutoff still works.
+	if _, err := ErdosRenyi(100, 4900, UniformProbs(0, 1), rng(6)); err != nil {
+		t.Fatalf("sparse-enough request should succeed, got %v", err)
+	}
+	// Small graphs stay exempt: the complete graph on 4 vertices is fine.
+	if _, err := ErdosRenyi(4, 6, UniformProbs(0, 1), rng(6)); err != nil {
+		t.Fatalf("small complete graph should succeed, got %v", err)
+	}
+}
+
+func TestStreamErdosRenyiShape(t *testing.T) {
+	const n, m = 500, 2000
+	var buf bytes.Buffer
+	if err := StreamErdosRenyi(&buf, n, m, UniformProbs(0.1, 0.9), rng(7)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := uncertain.ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("streamed output should be a valid v2 file: %v", err)
+	}
+	if g.NumNodes() != n || g.NumEdges() != m {
+		t.Fatalf("got %d nodes %d edges, want %d/%d", g.NumNodes(), g.NumEdges(), n, m)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if e.P < 0.1 || e.P > 0.9 {
+			t.Fatalf("edge %d probability %v outside the assigner range", i, e.P)
+		}
+	}
+	// Deterministic per seed.
+	var buf2 bytes.Buffer
+	if err := StreamErdosRenyi(&buf2, n, m, UniformProbs(0.1, 0.9), rng(7)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("StreamErdosRenyi should be deterministic for a fixed seed")
+	}
+}
+
+func TestStreamErdosRenyiRejectsBadShapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StreamErdosRenyi(&buf, 4, 7, UniformProbs(0, 1), rng(8)); err == nil {
+		t.Fatal("impossible edge count should error")
+	}
+	if err := StreamErdosRenyi(&buf, 100, 4950, UniformProbs(0, 1), rng(8)); err == nil {
+		t.Fatal("near-complete request should error")
+	}
+}

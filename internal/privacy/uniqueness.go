@@ -59,7 +59,7 @@ func Uniqueness(values []float64, theta float64) []float64 {
 // the expected-degree property with the kernel bandwidth theta = sigma_G,
 // the standard deviation of the property over the graph (the paper's
 // uncertainty-aware choice in Section V-C).
-func VertexUniqueness(g *uncertain.Graph) []float64 {
+func VertexUniqueness(g uncertain.View) []float64 {
 	theta := g.DegreeStdDev()
 	if theta <= 0 {
 		theta = 1

@@ -1,0 +1,55 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/uncertain"
+)
+
+// TestPrivacyMeasuresOnCSRView verifies the privacy measures accept the
+// packed CSR view interchangeably with the slice-backed graph and return
+// bit-identical results: they are deterministic functions of the edge set,
+// so any difference would be a representation bug.
+func TestPrivacyMeasuresOnCSRView(t *testing.T) {
+	g := randomUncertain(41, 30, 90)
+	c := uncertain.NewCSR(g)
+
+	if got, want := AnonymityObjective(c), AnonymityObjective(g); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("AnonymityObjective: CSR %v != graph %v", got, want)
+	}
+	if got, want := TotalDegreeEntropy(c), TotalDegreeEntropy(g); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("TotalDegreeEntropy: CSR %v != graph %v", got, want)
+	}
+
+	gp, cp := DegreeProperty(g), DegreeProperty(c)
+	for v := range gp {
+		if gp[v] != cp[v] {
+			t.Fatalf("DegreeProperty[%d]: CSR %d != graph %d", v, cp[v], gp[v])
+		}
+	}
+
+	gu, cu := VertexUniqueness(g), VertexUniqueness(c)
+	for v := range gu {
+		if math.Float64bits(gu[v]) != math.Float64bits(cu[v]) {
+			t.Fatalf("VertexUniqueness[%d]: CSR %v != graph %v", v, cu[v], gu[v])
+		}
+	}
+
+	const k = 3
+	repG, errG := CheckObfuscation(g, gp, k)
+	repC, errC := CheckObfuscation(c, gp, k)
+	if errG != nil || errC != nil {
+		t.Fatalf("CheckObfuscation errors: graph %v, CSR %v", errG, errC)
+	}
+	if repG.K != repC.K || repG.NonObfuscated != repC.NonObfuscated ||
+		math.Float64bits(repG.EpsilonTilde) != math.Float64bits(repC.EpsilonTilde) ||
+		len(repG.EntropyByDegree) != len(repC.EntropyByDegree) {
+		t.Fatalf("CheckObfuscation: CSR %+v != graph %+v", repC, repG)
+	}
+	for w := range repG.EntropyByDegree {
+		if math.Float64bits(repG.EntropyByDegree[w]) != math.Float64bits(repC.EntropyByDegree[w]) {
+			t.Fatalf("EntropyByDegree[%d]: CSR %v != graph %v", w, repC.EntropyByDegree[w], repG.EntropyByDegree[w])
+		}
+	}
+}

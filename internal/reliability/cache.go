@@ -17,7 +17,11 @@ import (
 // stream). Workers does not participate: the worlds, labels and stopping
 // point are identical however sampling is scheduled.
 type labelKey struct {
-	g          *uncertain.Graph
+	// g is the view's identity. Both implementations (*uncertain.Graph,
+	// *uncertain.CSR) are pointers, so the interface value is comparable
+	// and hashes by identity, which is exactly the snapshot semantics the
+	// version field extends.
+	g          uncertain.View
 	version    uint64
 	samples    int
 	seed       uint64
@@ -158,7 +162,7 @@ func (c *LabelCache) Len() int {
 	return len(c.entries)
 }
 
-func (e Estimator) labelKeyFor(g *uncertain.Graph) labelKey {
+func (e Estimator) labelKeyFor(g uncertain.View) labelKey {
 	k := labelKey{g: g, version: g.Version(), samples: e.samples(), seed: e.Seed,
 		fast: e.FastSampling, mode: e.Mode}
 	if e.adaptive() {
@@ -171,7 +175,7 @@ func (e Estimator) labelKeyFor(g *uncertain.Graph) labelKey {
 // cachedLabels returns the memoized label set for g under this estimator
 // configuration, or nil when absent (or no cache is attached). It never
 // computes.
-func (e Estimator) cachedLabels(g *uncertain.Graph) *labelSet {
+func (e Estimator) cachedLabels(g uncertain.View) *labelSet {
 	if e.Cache == nil {
 		return nil
 	}
@@ -186,7 +190,7 @@ func (e Estimator) cachedLabels(g *uncertain.Graph) *labelSet {
 // when possible, sampling (and, with a cache attached, storing) otherwise.
 // The label values are exactly those of SampleLabels for the same
 // configuration; only the layout differs.
-func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
+func (e Estimator) sampleLabelsT(g uncertain.View) *labelSet {
 	if ls := e.cachedLabels(g); ls != nil {
 		return ls
 	}
@@ -231,7 +235,7 @@ func (e Estimator) sampleLabelsT(g *uncertain.Graph) *labelSet {
 // startup to keep the sampling cost off the first request's latency.
 // No-op without a Cache; a cancelled warm-up (Estimator.Ctx) leaves the
 // cache unpopulated.
-func (e Estimator) WarmCache(g *uncertain.Graph) {
+func (e Estimator) WarmCache(g uncertain.View) {
 	if e.Cache == nil {
 		return
 	}

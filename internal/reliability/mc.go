@@ -339,7 +339,7 @@ func stopRSE(w obs.Welford, target float64) bool {
 // record the worlds actually drawn (not the requested budget), so the
 // sample-balance invariant sum(mc.worker.*) == mc.worlds_sampled holds on
 // interrupted runs too.
-func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch) float64) obs.Welford {
+func (e Estimator) forEachSample(g uncertain.View, fn func(i int, sc *scratch) float64) obs.Welford {
 	if e.adaptive() {
 		return e.forEachSampleAdaptive(g, fn)
 	}
@@ -426,7 +426,7 @@ func (e Estimator) forEachSample(g *uncertain.Graph, fn func(i int, sc *scratch)
 // sample-balance invariant reflects actual work) but excluded from the
 // accumulator, so the counted prefix is always contiguous — callers
 // truncate their per-world side arrays to the accumulator count.
-func (e Estimator) forEachSampleAdaptive(g *uncertain.Graph, fn func(i int, sc *scratch) float64) obs.Welford {
+func (e Estimator) forEachSampleAdaptive(g uncertain.View, fn func(i int, sc *scratch) float64) obs.Welford {
 	reg := e.Obs.Registry()
 	sampler := g.Sampler()
 	draw := e.drawFn()
@@ -546,7 +546,7 @@ func (e Estimator) forEachSampleAdaptive(g *uncertain.Graph, fn func(i int, sc *
 // variance of difference estimates. Under the stream modes the second
 // graph draws from a decorrelated seed (pairSeed), giving the classical
 // independent two-sample estimator.
-func (e Estimator) forEachSamplePair(g, h *uncertain.Graph, fn func(i int, scg, sch *scratch) float64) obs.Welford {
+func (e Estimator) forEachSamplePair(g, h uncertain.View, fn func(i int, scg, sch *scratch) float64) obs.Welford {
 	reg := e.Obs.Registry()
 	samplerG, samplerH := g.Sampler(), h.Sampler()
 	draw := e.drawFn()
@@ -778,7 +778,7 @@ func (e Estimator) recordStream(name, op string, w obs.Welford, convergence bool
 // adaptive mode the returned slice is truncated to the effective sample
 // count (the per-world statistic driving the stopping rule is the world's
 // connected-pair count).
-func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
+func (e Estimator) SampleLabels(g uncertain.View) [][]int32 {
 	labels := make([][]int32, e.budget())
 	nv := g.NumNodes()
 	w := e.forEachSample(g, func(i int, sc *scratch) float64 {
@@ -798,7 +798,7 @@ func (e Estimator) SampleLabels(g *uncertain.Graph) [][]int32 {
 
 // ExpectedConnectedPairs estimates E[cc(G)]: the expected number of
 // connected unordered vertex pairs.
-func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
+func (e Estimator) ExpectedConnectedPairs(g uncertain.View) float64 {
 	defer e.timeOp("ExpectedConnectedPairs", time.Now())
 	if ls := e.cachedLabels(g); ls != nil {
 		var total float64
@@ -829,7 +829,7 @@ func (e Estimator) ExpectedConnectedPairs(g *uncertain.Graph) float64 {
 // the memoized component labels — identical worlds, identical labels, so
 // the value matches the uncached fixed-budget path bit-for-bit, and a
 // warm cache answers in O(N) label comparisons without sampling.
-func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) float64 {
+func (e Estimator) PairReliability(g uncertain.View, u, v uncertain.NodeID) float64 {
 	defer e.timeOp("PairReliability", time.Now())
 	if e.Cache != nil {
 		ls := e.sampleLabelsT(g)
@@ -873,7 +873,7 @@ func (e Estimator) PairReliability(g *uncertain.Graph, u, v uncertain.NodeID) fl
 // Cache attached the vector is computed from the memoized transposed
 // labels (same worlds, same values as the uncached path), so repeated
 // k-NN queries against one graph sample it exactly once.
-func (e Estimator) ReliabilityVector(g *uncertain.Graph, src uncertain.NodeID) []float64 {
+func (e Estimator) ReliabilityVector(g uncertain.View, src uncertain.NodeID) []float64 {
 	defer e.timeOp("ReliabilityVector", time.Now())
 	if e.Cache != nil {
 		ls := e.sampleLabelsT(g)

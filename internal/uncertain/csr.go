@@ -1,0 +1,275 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// CSR is a read-only compressed-sparse-row adjacency view of an uncertain
+// graph: the shared edge storage plus offsets into packed neighbor and
+// edge-index arrays. It trades *Graph's mutability and O(1) hash-map edge
+// lookups for a compact, allocation-friendly layout — three flat arrays
+// instead of |V| adjacency slices and a map — which is what the v2 binary
+// decoder materializes directly and what the million-node substrate runs
+// on.
+//
+// A CSR is immutable after construction and safe for concurrent use. It
+// implements View, so every engine that accepts a View (reliability,
+// privacy, the query plane) runs on it interchangeably with *Graph; when
+// it is built with NewCSR the edge order is preserved, so Monte Carlo
+// estimates are bit-identical between the two representations.
+type CSR struct {
+	edgeCore
+	offsets []int64  // len n+1: vertex v's incident half-edges are [offsets[v], offsets[v+1])
+	neigh   []NodeID // len 2m, packed neighbor endpoints
+	eidx    []int32  // len 2m, parallel edge indices into edges
+
+	sampler atomic.Pointer[WorldSampler]
+}
+
+// NewCSR builds the CSR view of g, preserving g's edge order (and hence
+// its sampled world stream: estimates on the view replay bit-for-bit).
+// The edge list is copied; g may be mutated or dropped afterwards without
+// affecting the view.
+func NewCSR(g *Graph) *CSR {
+	return newCSRFromEdges(g.n, g.Edges())
+}
+
+// newCSRFromEdges builds a CSR over n vertices from an owned edge slice.
+// The edges must already be validated (canonical u < v in range, p in
+// [0,1], no duplicates); callers are the CSR constructor above (edges
+// from a valid Graph) and the v2 decoder (which validates while
+// decoding). The slice is retained.
+func newCSRFromEdges(n int, edges []Edge) *CSR {
+	c := &CSR{edgeCore: edgeCore{n: n, edges: edges}}
+	c.uv = make([]uint64, len(edges))
+	c.offsets = make([]int64, n+1)
+	for i, e := range edges {
+		c.uv[i] = uint64(e.U)<<32 | uint64(e.V)
+		c.offsets[e.U+1]++
+		c.offsets[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.offsets[v+1] += c.offsets[v]
+	}
+	c.neigh = make([]NodeID, 2*len(edges))
+	c.eidx = make([]int32, 2*len(edges))
+	fill := make([]int64, n)
+	copy(fill, c.offsets[:n])
+	for i, e := range edges {
+		c.neigh[fill[e.U]] = e.V
+		c.eidx[fill[e.U]] = int32(i)
+		fill[e.U]++
+		c.neigh[fill[e.V]] = e.U
+		c.eidx[fill[e.V]] = int32(i)
+		fill[e.V]++
+	}
+	return c
+}
+
+// Offsets returns the CSR row-offset array (length |V|+1): vertex v's
+// incident half-edges occupy [Offsets()[v], Offsets()[v+1]) of the packed
+// arrays. Callers must not mutate it.
+func (c *CSR) Offsets() []int64 { return c.offsets }
+
+// PackedNeighbors returns the packed neighbor array, parallel to
+// PackedEdgeIndices. Callers must not mutate it.
+func (c *CSR) PackedNeighbors() []NodeID { return c.neigh }
+
+// PackedEdgeIndices returns the packed per-half-edge edge indices.
+// Callers must not mutate it.
+func (c *CSR) PackedEdgeIndices() []int32 { return c.eidx }
+
+// Version implements View. A CSR is immutable, so its version never
+// changes; pointer identity alone keys caches.
+func (c *CSR) Version() uint64 { return 0 }
+
+// EdgeIndex returns the index of edge {u,v}, or -1 if absent. The lookup
+// scans the smaller endpoint's neighbor run — O(min degree), no hash map.
+func (c *CSR) EdgeIndex(u, v NodeID) int {
+	if u < 0 || int(u) >= c.n || v < 0 || int(v) >= c.n || u == v {
+		return -1
+	}
+	if c.Degree(v) < c.Degree(u) {
+		u, v = v, u
+	}
+	for i := c.offsets[u]; i < c.offsets[u+1]; i++ {
+		if c.neigh[i] == v {
+			return int(c.eidx[i])
+		}
+	}
+	return -1
+}
+
+// HasEdge reports whether {u,v} is an edge of the graph.
+func (c *CSR) HasEdge(u, v NodeID) bool { return c.EdgeIndex(u, v) >= 0 }
+
+// Degree returns the structural degree of v.
+func (c *CSR) Degree(v NodeID) int { return int(c.offsets[v+1] - c.offsets[v]) }
+
+// Neighbors appends the neighbors of v to buf and returns it.
+func (c *CSR) Neighbors(v NodeID, buf []NodeID) []NodeID {
+	return append(buf, c.neigh[c.offsets[v]:c.offsets[v+1]]...)
+}
+
+// IncidentEdges appends indices of edges incident to v to buf.
+func (c *CSR) IncidentEdges(v NodeID, buf []int32) []int32 {
+	return append(buf, c.eidx[c.offsets[v]:c.offsets[v+1]]...)
+}
+
+// IncidentProbs appends the probabilities of edges incident to v to buf.
+func (c *CSR) IncidentProbs(v NodeID, buf []float64) []float64 {
+	for _, ei := range c.eidx[c.offsets[v]:c.offsets[v+1]] {
+		buf = append(buf, c.edges[ei].P)
+	}
+	return buf
+}
+
+// ExpectedDegree returns E[deg(v)] = sum of incident edge probabilities.
+func (c *CSR) ExpectedDegree(v NodeID) float64 {
+	var s float64
+	for _, ei := range c.eidx[c.offsets[v]:c.offsets[v+1]] {
+		s += c.edges[ei].P
+	}
+	return s
+}
+
+// MaxStructuralDegree returns the maximum structural degree over vertices.
+func (c *CSR) MaxStructuralDegree() int {
+	max := 0
+	for v := 0; v < c.n; v++ {
+		if d := c.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// StructuralDegreeHistogram returns counts[d] = number of vertices with
+// structural degree d.
+func (c *CSR) StructuralDegreeHistogram() []int {
+	h := make([]int, c.MaxStructuralDegree()+1)
+	for v := 0; v < c.n; v++ {
+		h[c.Degree(NodeID(v))]++
+	}
+	return h
+}
+
+// ExpectedDegrees returns the expected degree of every vertex.
+func (c *CSR) ExpectedDegrees() []float64 {
+	out := make([]float64, c.n)
+	for _, e := range c.edges {
+		out[e.U] += e.P
+		out[e.V] += e.P
+	}
+	return out
+}
+
+// DegreeStdDev returns the standard deviation of the expected-degree
+// property across vertices (Definition 4's kernel bandwidth).
+func (c *CSR) DegreeStdDev() float64 { return degreeStdDev(c.n, c.ExpectedDegrees()) }
+
+// MeanProb returns the average edge probability, or 0 for an edgeless
+// graph.
+func (c *CSR) MeanProb() float64 { return meanProb(c.edges) }
+
+// ExpectedNumEdges returns E[|E(world)|] = sum of edge probabilities.
+func (c *CSR) ExpectedNumEdges() float64 { return expectedNumEdges(c.edges) }
+
+// ExpectedAvgDegree returns E[average degree] = 2*sum(p)/|V|.
+func (c *CSR) ExpectedAvgDegree() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return 2 * c.ExpectedNumEdges() / float64(c.n)
+}
+
+// ProbHistogram buckets the edge probabilities into `bins` equal-width
+// bins over [0,1]; p = 1 lands in the last bin.
+func (c *CSR) ProbHistogram(bins int) []int { return probHistogram(c.edges, bins) }
+
+// Sampler returns the world-sampler snapshot for the view, building it on
+// first use. The CSR is immutable, so the snapshot is built at most once
+// (barring a benign race) and shared by all callers.
+func (c *CSR) Sampler() *WorldSampler {
+	if s := c.sampler.Load(); s != nil {
+		return s
+	}
+	s := newWorldSampler(c)
+	c.sampler.Store(s)
+	return s
+}
+
+// SampleWorld draws one possible world of the view; see Graph.SampleWorld
+// for the draw-order contract.
+func (c *CSR) SampleWorld(rng *rand.Rand) *World { return sampleWorldOf(c, rng) }
+
+// MostProbableWorld returns the world including exactly the edges with
+// p >= 0.5.
+func (c *CSR) MostProbableWorld() *World { return mostProbableWorldOf(c) }
+
+// WorldFromMask builds a world from an explicit edge-presence mask.
+func (c *CSR) WorldFromMask(present []bool) *World { return worldFromMaskOf(c, present) }
+
+// Materialize converts the view back into a mutable slice-backed *Graph
+// (fresh adjacency and edge index). The engines that perturb graphs (the
+// σ-search) need mutability; everything else should stay on the view.
+func (c *CSR) Materialize() (*Graph, error) { return FromEdges(c.n, c.edges) }
+
+// forIncident iterates the incident half-edges of v.
+func (c *CSR) forIncident(v NodeID, fn func(to NodeID, edge int32)) {
+	lo, hi := c.offsets[v], c.offsets[v+1]
+	for i := lo; i < hi; i++ {
+		fn(c.neigh[i], c.eidx[i])
+	}
+}
+
+// degreeStdDev is the shared population-stddev helper behind
+// Graph.DegreeStdDev and CSR.DegreeStdDev.
+func degreeStdDev(n int, degs []float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	var mean float64
+	for _, d := range degs {
+		mean += d
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, d := range degs {
+		diff := d - mean
+		ss += diff * diff
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func meanProb(edges []Edge) float64 {
+	if len(edges) == 0 {
+		return 0
+	}
+	return expectedNumEdges(edges) / float64(len(edges))
+}
+
+func expectedNumEdges(edges []Edge) float64 {
+	var s float64
+	for _, e := range edges {
+		s += e.P
+	}
+	return s
+}
+
+func probHistogram(edges []Edge, bins int) []int {
+	if bins <= 0 {
+		bins = 10
+	}
+	h := make([]int, bins)
+	for _, e := range edges {
+		b := int(e.P * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	return h
+}

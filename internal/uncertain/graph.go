@@ -31,15 +31,59 @@ type halfEdge struct {
 	Edge int32 // index into Graph.edges
 }
 
+// edgeCore is the storage shared by the two graph representations — the
+// mutable slice-backed *Graph and the read-only packed *CSR view: vertex
+// count, edge list and the packed endpoints the bitset union kernel
+// streams. Methods that need only this storage live here and promote to
+// both types.
+type edgeCore struct {
+	n     int
+	edges []Edge
+	uv    []uint64 // packed endpoints (u<<32|v) parallel to edges, one
+	// load per edge in the bitset union kernel
+}
+
+// NumNodes returns |V|.
+func (c *edgeCore) NumNodes() int { return c.n }
+
+// NumEdges returns |E|.
+func (c *edgeCore) NumEdges() int { return len(c.edges) }
+
+// Edge returns the i-th edge. Edges keep their insertion index for the
+// lifetime of the graph; SetProb mutates probabilities in place.
+func (c *edgeCore) Edge(i int) Edge { return c.edges[i] }
+
+// Edges returns a copy of the edge list.
+func (c *edgeCore) Edges() []Edge {
+	out := make([]Edge, len(c.edges))
+	copy(out, c.edges)
+	return out
+}
+
+// SortedEdges returns the edges ordered by (U, V); useful for deterministic
+// output.
+func (c *edgeCore) SortedEdges() []Edge {
+	out := c.Edges()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// dataCore exposes the shared storage to package-internal kernels; it is
+// also the unexported method that seals the View interface to this
+// package.
+func (c *edgeCore) dataCore() *edgeCore { return c }
+
 // Graph is a simple undirected uncertain graph. The zero value is not
 // usable; construct with New.
 type Graph struct {
-	n     int
-	edges []Edge
+	edgeCore
 	adj   [][]halfEdge
 	index map[[2]NodeID]int32 // canonical (u<v) pair -> edge index
-	uv    []uint64            // packed endpoints (u<<32|v) parallel to
-	// edges, one load per edge in the bitset union kernel
 
 	// version counts structural mutations (AddEdge, SetProb). It
 	// invalidates derived snapshots: the cached WorldSampler below and any
@@ -65,9 +109,9 @@ func New(n int) *Graph {
 		n = 0
 	}
 	return &Graph{
-		n:     n,
-		adj:   make([][]halfEdge, n),
-		index: make(map[[2]NodeID]int32),
+		edgeCore: edgeCore{n: n},
+		adj:      make([][]halfEdge, n),
+		index:    make(map[[2]NodeID]int32),
 	}
 }
 
@@ -119,23 +163,6 @@ func (g *Graph) MustAddEdge(u, v NodeID, p float64) {
 	if err := g.AddEdge(u, v, p); err != nil {
 		panic(err)
 	}
-}
-
-// NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return g.n }
-
-// NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.edges) }
-
-// Edge returns the i-th edge. Edges keep their insertion index for the
-// lifetime of the graph; SetProb mutates probabilities in place.
-func (g *Graph) Edge(i int) Edge { return g.edges[i] }
-
-// Edges returns a copy of the edge list.
-func (g *Graph) Edges() []Edge {
-	out := make([]Edge, len(g.edges))
-	copy(out, g.edges)
-	return out
 }
 
 // EdgeIndex returns the index of edge {u,v}, or -1 if absent.
@@ -246,17 +273,11 @@ func (g *Graph) Equal(h *Graph) bool {
 	return true
 }
 
-// SortedEdges returns the edges ordered by (U, V); useful for deterministic
-// output.
-func (g *Graph) SortedEdges() []Edge {
-	out := g.Edges()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
-	return out
+// forIncident calls fn for every incident half-edge of v.
+func (g *Graph) forIncident(v NodeID, fn func(to NodeID, edge int32)) {
+	for _, he := range g.adj[v] {
+		fn(he.To, he.Edge)
+	}
 }
 
 // String implements fmt.Stringer with a short summary.

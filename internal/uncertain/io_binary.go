@@ -3,22 +3,57 @@ package uncertain
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 )
 
-// Binary format: magic, version, node count, edge count, then (u, v, p)
-// triples little-endian. Roughly 5x smaller and an order of magnitude
-// faster to load than the TSV format for large graphs.
+// Binary container: every binary graph file starts with the same two
+// little-endian words — magic then version — followed by a version-specific
+// body.
+//
+// Version 1 body: node count and edge count as uint32, then (u uint32,
+// v uint32, p float64bits) triples in sorted edge order. Roughly 5x smaller
+// and an order of magnitude faster to load than the TSV format.
+//
+// Version 2 body: the sectioned format of io_v2.go — length-prefixed,
+// checksummed sections carrying delta/varint-coded edges and a quantized
+// probability column. See DESIGN.md §14.
 const (
-	binaryMagic   uint32 = 0x55475247 // "UGRG"
-	binaryVersion uint32 = 1
+	binaryMagic     uint32 = 0x55475247 // "UGRG"
+	binaryVersion   uint32 = 1
+	binaryVersionV2 uint32 = 2
 )
 
-// WriteBinary serializes g in the compact binary format.
-func WriteBinary(w io.Writer, g *Graph) error {
+// ErrTooLarge is returned by the binary writers when a graph cannot be
+// represented in the on-disk format: more than MaxFileNodes vertices (the
+// readers refuse such headers, so writing them would produce files nothing
+// can load back) or an edge count that does not fit the v1 uint32 field.
+var ErrTooLarge = errors.New("uncertain: graph too large for binary format")
+
+// checkWritable rejects graphs whose counts the binary formats cannot
+// round-trip. Both versions share the MaxFileNodes cap; v1 additionally
+// needs the edge count to fit its uint32 field, which the cap already
+// implies is the binding constraint only for absurd inputs.
+func checkWritable(n, m int) error {
+	if n > MaxFileNodes {
+		return fmt.Errorf("%w: %d nodes exceeds MaxFileNodes %d", ErrTooLarge, n, MaxFileNodes)
+	}
+	if int64(m) > math.MaxUint32 {
+		return fmt.Errorf("%w: %d edges exceeds uint32", ErrTooLarge, m)
+	}
+	return nil
+}
+
+// WriteBinary serializes g in the version-1 binary format. It refuses
+// graphs the readers would reject (ErrTooLarge) instead of silently
+// truncating the counts through the uint32 header fields.
+func WriteBinary(w io.Writer, g View) error {
+	if err := checkWritable(g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	for _, v := range []uint32{binaryMagic, binaryVersion, uint32(g.NumNodes()), uint32(g.NumEdges())} {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -39,23 +74,66 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the format written by WriteBinary, validating every
-// edge through the normal construction path.
+// readBinaryHeader consumes the shared magic + version prefix and returns
+// the version word.
+func readBinaryHeader(br *bufio.Reader) (uint32, error) {
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return 0, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	if magic != binaryMagic {
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrBadFormat, magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return 0, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	return version, nil
+}
+
+// requireEOF verifies the stream ends exactly where the format says it
+// should: trailing bytes mean a corrupt or mis-framed file, not a graph.
+func requireEOF(br *bufio.Reader) error {
+	if _, err := br.ReadByte(); err == nil {
+		return fmt.Errorf("%w: trailing data after graph body", ErrBadFormat)
+	} else if err != io.EOF {
+		return fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return nil
+}
+
+// ReadBinary parses the binary container written by WriteBinary (v1) or
+// WriteBinaryV2, dispatching on the version word and validating every edge.
+// The stream must end cleanly at the end of the graph body; trailing bytes
+// are ErrBadFormat.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
-	var header [4]uint32
+	version, err := readBinaryHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case binaryVersion:
+		return readV1Body(br)
+	case binaryVersionV2:
+		n, edges, err := readV2Body(br)
+		if err != nil {
+			return nil, err
+		}
+		return FromEdges(n, edges)
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+}
+
+// readV1Body parses the version-1 body after the magic/version prefix.
+func readV1Body(br *bufio.Reader) (*Graph, error) {
+	var header [2]uint32
 	for i := range header {
 		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
 			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
 		}
 	}
-	if header[0] != binaryMagic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadFormat, header[0])
-	}
-	if header[1] != binaryVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, header[1])
-	}
-	n, m := int(header[2]), int(header[3])
+	n, m := int(header[0]), int(header[1])
 	if n > MaxFileNodes {
 		return nil, fmt.Errorf("%w: node count %d exceeds limit", ErrBadFormat, n)
 	}
@@ -76,18 +154,24 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if err := binary.Read(br, binary.LittleEndian, &pBits); err != nil {
 			return nil, fmt.Errorf("%w: truncated edge %d: %v", ErrBadFormat, i, err)
 		}
-		if u > uint32(MaxFileNodes) || v > uint32(MaxFileNodes) {
-			return nil, fmt.Errorf("%w: edge %d endpoints out of range", ErrBadFormat, i)
+		// Validate against the header's node count, not the global cap:
+		// any endpoint >= n can never be a vertex of this graph, and the
+		// check also keeps NodeID conversion below from going negative.
+		if u >= uint32(n) || v >= uint32(n) {
+			return nil, fmt.Errorf("%w: edge %d endpoints (%d,%d) out of range for n=%d", ErrBadFormat, i, u, v, n)
 		}
 		if err := g.AddEdge(NodeID(u), NodeID(v), math.Float64frombits(pBits)); err != nil {
 			return nil, fmt.Errorf("edge %d: %w", i, err)
 		}
 	}
+	if err := requireEOF(br); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
-// SaveBinaryFile writes g to path in binary format.
-func SaveBinaryFile(path string, g *Graph) error {
+// SaveBinaryFile writes g to path in version-1 binary format.
+func SaveBinaryFile(path string, g View) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -99,7 +183,7 @@ func SaveBinaryFile(path string, g *Graph) error {
 	return f.Close()
 }
 
-// LoadBinaryFile reads a binary graph from path.
+// LoadBinaryFile reads a binary graph (either version) from path.
 func LoadBinaryFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -93,6 +93,70 @@ func TestBinaryRejectsImpossibleCounts(t *testing.T) {
 	}
 }
 
+// TestWriteBinaryRejectsOversizedGraph locks the writer-side count guard:
+// a graph with more than MaxFileNodes vertices used to be written with its
+// node count silently truncated through the uint32 header field, producing
+// a file ReadBinary refuses (or worse, mis-frames). The writer must refuse
+// up front instead. The graph is built as a bare struct literal — the
+// guard only needs the counts, and New would allocate adjacency slices for
+// 16M+ vertices.
+func TestWriteBinaryRejectsOversizedGraph(t *testing.T) {
+	g := &Graph{edgeCore: edgeCore{n: MaxFileNodes + 1}}
+	if err := WriteBinary(&bytes.Buffer{}, g); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("WriteBinary on %d nodes: want ErrTooLarge, got %v", MaxFileNodes+1, err)
+	}
+	if err := WriteBinaryV2(&bytes.Buffer{}, g); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("WriteBinaryV2 on %d nodes: want ErrTooLarge, got %v", MaxFileNodes+1, err)
+	}
+	if _, err := NewV2Writer(&bytes.Buffer{}, MaxFileNodes+1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("NewV2Writer on %d nodes: want ErrTooLarge, got %v", MaxFileNodes+1, err)
+	}
+}
+
+// TestBinaryRejectsTrailingGarbage locks the clean-EOF contract: the v1
+// reader used to stop after m edges and silently ignore whatever followed,
+// so a mis-framed or corrupt-header file could parse as a smaller graph.
+func TestBinaryRejectsTrailingGarbage(t *testing.T) {
+	g := mustGraph(t, 3, Edge{0, 1, 0.5}, Edge{1, 2, 0.25})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := append(buf.Bytes(), 0xAB)
+	if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("trailing byte: want ErrBadFormat, got %v", err)
+	}
+}
+
+// TestBinaryRejectsEndpointBeyondHeaderN locks the endpoint guard: the v1
+// reader used to compare endpoints against the global MaxFileNodes cap
+// instead of the header's node count, so an endpoint in (n, MaxFileNodes]
+// fell through to AddEdge and surfaced as a construction error rather
+// than ErrBadFormat.
+func TestBinaryRejectsEndpointBeyondHeaderN(t *testing.T) {
+	// Hand-build a v1 file: n=3, m=1, edge (1, 5): endpoint 5 >= n.
+	var buf bytes.Buffer
+	for _, v := range []uint32{binaryMagic, binaryVersion, 3, 1} {
+		if err := writeU32(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeU32(&buf, 1)
+	writeU32(&buf, 5)
+	var pb [8]byte
+	buf.Write(pb[:]) // p = 0.0
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("endpoint 5 with n=3: want ErrBadFormat, got %v", err)
+	}
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) error {
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	_, err := buf.Write(b[:])
+	return err
+}
+
 func TestBinaryQuickRoundTrip(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 17))

@@ -43,7 +43,8 @@ type skipClass struct {
 // safe for concurrent use by many workers, and it is invalidated (rebuilt
 // by Graph.Sampler) when the graph's edge set or probabilities change.
 type WorldSampler struct {
-	g       *Graph
+	src     View
+	core    *edgeCore
 	version uint64
 	thresh  []uint64 // per edge: 0 = never, threshAlways = certain, else draw
 
@@ -53,11 +54,12 @@ type WorldSampler struct {
 	dense   []int32 // edges outside every skip class, ascending
 }
 
-// newWorldSampler builds the sampler snapshot for g's current state.
-func newWorldSampler(g *Graph) *WorldSampler {
-	s := &WorldSampler{g: g, version: g.version, thresh: make([]uint64, len(g.edges))}
+// newWorldSampler builds the sampler snapshot for the view's current state.
+func newWorldSampler(src View) *WorldSampler {
+	core := src.dataCore()
+	s := &WorldSampler{src: src, core: core, version: src.Version(), thresh: make([]uint64, len(core.edges))}
 	counts := make(map[float64]int)
-	for i, e := range g.edges {
+	for i, e := range core.edges {
 		switch {
 		case e.P >= 1:
 			s.thresh[i] = threshAlways
@@ -73,7 +75,7 @@ func newWorldSampler(g *Graph) *WorldSampler {
 		}
 	}
 	classIdx := make(map[float64]int)
-	for i, e := range g.edges {
+	for i, e := range core.edges {
 		if e.P > 0 && e.P < geomCut && counts[e.P] >= geomMinRun {
 			ci, ok := classIdx[e.P]
 			if !ok {
@@ -90,7 +92,7 @@ func newWorldSampler(g *Graph) *WorldSampler {
 }
 
 // NumEdges returns the edge count the sampler was built for.
-func (s *WorldSampler) NumEdges() int { return len(s.g.edges) }
+func (s *WorldSampler) NumEdges() int { return len(s.core.edges) }
 
 // Sampler returns the world sampler snapshot for g's current state,
 // building and caching it on first use and rebuilding it after any

@@ -127,7 +127,7 @@ func (s *WorldSampler) SampleInto(w *World, pcg *rand.PCG) {
 // per uncertain edge, XORed with flip (0 = plain, mask53 = antithetic
 // complement) before the threshold test.
 func (s *WorldSampler) sampleThreshold(w *World, pcg *rand.PCG, flip uint64) {
-	w.g = s.g
+	w.src, w.core = s.src, s.core
 	nE := len(s.thresh)
 	words := bitsetWords(nE)
 	if cap(w.bits) < words {
@@ -202,8 +202,8 @@ func (s *WorldSampler) SampleIntoGeometric(w *World, pcg *rand.PCG) {
 // sampleGeometric is the shared geometric-skip kernel; flip complements
 // every 53-bit draw (0 = plain, mask53 = antithetic mirror).
 func (s *WorldSampler) sampleGeometric(w *World, pcg *rand.PCG, flip uint64) {
-	w.g = s.g
-	w.bits = w.bits.grow(len(s.g.edges))
+	w.src, w.core = s.src, s.core
+	w.bits = w.bits.grow(len(s.core.edges))
 	m := 0
 	for _, i := range s.dense {
 		t := s.thresh[i]
@@ -277,7 +277,7 @@ func (s *WorldSampler) SampleIntoCoupled(w *World, seed uint64, idx int) {
 // mixed again (coupled: pseudo-independent across indices) or used raw
 // (stratified: a lattice orbit across indices).
 func (s *WorldSampler) sampleHashed(w *World, seed uint64, idx int, mixIndex bool) {
-	w.g = s.g
+	w.src, w.core = s.src, s.core
 	nE := len(s.thresh)
 	words := bitsetWords(nE)
 	if cap(w.bits) < words {
@@ -286,7 +286,7 @@ func (s *WorldSampler) sampleHashed(w *World, seed uint64, idx int, mixIndex boo
 		w.bits = w.bits[:words]
 	}
 	thresh := s.thresh
-	uvs := s.g.uv
+	uvs := s.core.uv
 	i := uint64(idx)
 	m := 0
 	for wi := 0; wi < words; wi++ {

@@ -48,7 +48,7 @@ func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, []NodeID, error) {
 // edges with probability >= tau. ThresholdWorld(0.5) is the most probable
 // world; ThresholdWorld(~0) approaches the support graph.
 func (g *Graph) ThresholdWorld(tau float64) *World {
-	w := &World{g: g, bits: NewBitset(len(g.edges))}
+	w := &World{src: g, core: &g.edgeCore, bits: NewBitset(len(g.edges))}
 	for i, e := range g.edges {
 		if e.P >= tau {
 			w.bits.Set(i)
@@ -62,7 +62,7 @@ func (g *Graph) ThresholdWorld(tau float64) *World {
 // (every edge with p > 0 counted as present), largest first. Useful for
 // understanding what reliability can ever connect.
 func (g *Graph) SupportComponents() [][]NodeID {
-	w := &World{g: g, bits: NewBitset(len(g.edges))}
+	w := &World{src: g, core: &g.edgeCore, bits: NewBitset(len(g.edges))}
 	for i, e := range g.edges {
 		if e.P > 0 {
 			w.bits.Set(i)

@@ -1,0 +1,104 @@
+package uncertain
+
+import "math/rand/v2"
+
+// View is the read-only uncertain-graph surface the engines run on. Both
+// the mutable slice-backed *Graph and the packed read-only *CSR adjacency
+// view implement it, so the Monte Carlo estimators, the privacy measures
+// and the serialization paths accept either representation
+// interchangeably.
+//
+// The interface is sealed to this package (dataCore is unexported):
+// adding a third representation means adding it here, next to the world
+// and sampler kernels that have to understand its storage.
+//
+// Implementations must be safe for concurrent readers; mutating a *Graph
+// while any reader (including a sampler or world) uses it is not.
+type View interface {
+	// Structure.
+	NumNodes() int
+	NumEdges() int
+	Edge(i int) Edge
+	Edges() []Edge
+	SortedEdges() []Edge
+	EdgeIndex(u, v NodeID) int
+	HasEdge(u, v NodeID) bool
+	Degree(v NodeID) int
+	Neighbors(v NodeID, buf []NodeID) []NodeID
+	IncidentEdges(v NodeID, buf []int32) []int32
+	IncidentProbs(v NodeID, buf []float64) []float64
+
+	// Snapshot identity: (View identity, Version) names one immutable
+	// edge set + probability assignment; caches key on it.
+	Version() uint64
+
+	// Possible-world machinery.
+	Sampler() *WorldSampler
+	SampleWorld(rng *rand.Rand) *World
+	MostProbableWorld() *World
+	WorldFromMask(present []bool) *World
+
+	// Derived statistics (the privacy objectives' inputs).
+	ExpectedDegree(v NodeID) float64
+	ExpectedDegrees() []float64
+	DegreeStdDev() float64
+	MaxStructuralDegree() int
+	StructuralDegreeHistogram() []int
+	MeanProb() float64
+	ExpectedNumEdges() float64
+	ExpectedAvgDegree() float64
+	ProbHistogram(bins int) []int
+
+	// dataCore seals the interface and hands the packed storage to the
+	// sampling kernels without per-edge interface dispatch.
+	dataCore() *edgeCore
+	// forIncident iterates the incident half-edges of v.
+	forIncident(v NodeID, fn func(to NodeID, edge int32))
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*CSR)(nil)
+)
+
+// sampleWorldOf draws one possible world of src with rng: each edge is
+// included independently with its probability, one Float64 per edge with
+// 0 < p < 1, in edge-index order. Shared by Graph.SampleWorld and
+// CSR.SampleWorld so the draw order contract holds for both.
+func sampleWorldOf(src View, rng *rand.Rand) *World {
+	core := src.dataCore()
+	w := &World{src: src, core: core, bits: NewBitset(len(core.edges))}
+	for i, e := range core.edges {
+		if e.P >= 1 || (e.P > 0 && rng.Float64() < e.P) {
+			w.bits.Set(i)
+			w.m++
+		}
+	}
+	return w
+}
+
+// mostProbableWorldOf returns the world including exactly the edges with
+// p >= 0.5, which maximizes the world probability under independence.
+func mostProbableWorldOf(src View) *World {
+	core := src.dataCore()
+	w := &World{src: src, core: core, bits: NewBitset(len(core.edges))}
+	for i, e := range core.edges {
+		if e.P >= 0.5 {
+			w.bits.Set(i)
+			w.m++
+		}
+	}
+	return w
+}
+
+// worldFromMaskOf builds a world from an explicit edge-presence mask,
+// copying (packing) the mask rather than referencing it.
+func worldFromMaskOf(src View, present []bool) *World {
+	core := src.dataCore()
+	if len(present) != len(core.edges) {
+		panic("uncertain: mask length mismatch")
+	}
+	w := &World{src: src, core: core, bits: BitsetFromMask(present)}
+	w.m = w.bits.Count()
+	return w
+}

@@ -45,8 +45,11 @@ echo "== go test -race -count=2 (telemetry, MC workers, CLI runner) =="
 # pools now race over (adaptive rounds share one sampler snapshot).
 # internal/query is the newest cross-goroutine surface: the load harness
 # hammers one engine (and its shared label cache, HDR recorder shards and
-# wide-event writer) from many goroutines at once.
-go test -race -count=2 ./internal/obs/... ./internal/query/... ./internal/reliability/... ./internal/uncertain/... ./cmd/internal/runner/...
+# wide-event writer) from many goroutines at once. internal/testkit joins
+# for the CSR differential oracle: it drives the estimator worker pools
+# over the packed read-only view, the one representation whose immutability
+# the race detector can actually vouch for.
+go test -race -count=2 ./internal/obs/... ./internal/query/... ./internal/reliability/... ./internal/uncertain/... ./internal/testkit/... ./cmd/internal/runner/...
 
 coverage_floor="${COVERAGE_FLOOR:-78.4}"
 echo "== coverage (floor ${coverage_floor}%) =="
@@ -171,6 +174,67 @@ if ! awk -v f="${fixed_n:-0}" -v c="${crn_n:-0}" 'BEGIN { exit !(c > 0 && f / c 
 fi
 echo "sample-efficiency gate: fixed ${fixed_n} vs adaptive-crn ${crn_n} samples (>= 5x)"
 
+echo "== format benchmarks (sectioned v2 vs v1 vs TSV) =="
+# One 100k-edge graph decoded from every container format, with the
+# at-rest size reported alongside. The two headline claims of the v2
+# format are gated right here: decoding v2 into the packed CSR view must
+# be >= 5x faster than parsing the TSV, and the v2 file must be >= 3x
+# smaller than the TSV (quantized probability column engaged).
+emit_fmt='
+    BEGIN { print "[" }
+    $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        a = 0; bytes = 0
+        for (i = 5; i <= NF; i++) {
+            if ($i == "allocs/op") a = $(i-1)
+            if ($i == "bytes_on_disk") bytes = $(i-1)
+        }
+        if (n++) printf(",\n")
+        printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %d, \"iterations\": %s", name, $3, a, $2)
+        if (bytes > 0) printf(", \"bytes_on_disk\": %d", bytes)
+        printf("}")
+    }
+    END { if (n) printf("\n"); print "]" }
+'
+fmt_out=$(go test -run '^$' -bench 'BenchmarkFormat' -benchmem -benchtime "$benchtime" ./internal/uncertain/)
+echo "$fmt_out"
+echo "$fmt_out" | awk "$emit_fmt" > BENCH_format.json
+echo "wrote BENCH_format.json ($(grep -c '"name"' BENCH_format.json) entries)"
+
+fmt_field() {
+    grep "\"$1\"" BENCH_format.json | sed "s/.*\"$2\": \([0-9.e+-]*\).*/\1/"
+}
+tsv_ns=$(fmt_field "BenchmarkFormatDecode/tsv" ns_per_op)
+v2csr_ns=$(fmt_field "BenchmarkFormatDecode/v2-csr" ns_per_op)
+tsv_bytes=$(fmt_field "BenchmarkFormatDecode/tsv" bytes_on_disk)
+v2_bytes=$(fmt_field "BenchmarkFormatDecode/v2" bytes_on_disk)
+if ! awk -v t="${tsv_ns:-0}" -v v="${v2csr_ns:-0}" 'BEGIN { exit !(v > 0 && t / v >= 5) }'; then
+    echo "format gate: v2->CSR decode ${v2csr_ns:-?} ns vs TSV parse ${tsv_ns:-?} ns; want >= 5x faster" >&2
+    exit 1
+fi
+if ! awk -v t="${tsv_bytes:-0}" -v v="${v2_bytes:-0}" 'BEGIN { exit !(v > 0 && t / v >= 3) }'; then
+    echo "format gate: v2 file ${v2_bytes:-?} B vs TSV ${tsv_bytes:-?} B; want >= 3x smaller" >&2
+    exit 1
+fi
+echo "format gates: decode ${tsv_ns} -> ${v2csr_ns} ns (>= 5x), size ${tsv_bytes} -> ${v2_bytes} B (>= 3x)"
+
+echo "== v2 smoke (streamed 100k-edge graph through the CLIs) =="
+# End-to-end over the real binaries: genug streams a 100k-edge ER graph
+# straight to a sectioned v2 file without materializing it, and ugstat
+# must pick the format up through LoadFile's magic-number auto-detection
+# and report the exact shape back.
+smokedir=$(mktemp -d)
+go run ./cmd/genug -topology er -nodes 20000 -edges 100000 -probs discrete \
+    -format v2 -stream -seed 9 -o "$smokedir/big.ug2"
+smoke_out=$(go run ./cmd/ugstat -g "$smokedir/big.ug2" -metric-samples 2)
+echo "$smoke_out"
+rm -rf "$smokedir"
+if ! echo "$smoke_out" | grep -Eq 'edges +100000'; then
+    echo "v2 smoke: ugstat did not report the streamed graph's 100000 edges" >&2
+    exit 1
+fi
+echo "v2 smoke: streamed file round-tripped through genug -> ugstat"
+
 echo "== ugload smoke (query-plane SLO, open + closed loop) =="
 # A short load run in both loop disciplines against a small generated
 # graph. This validates the whole query plane end to end (dispatcher,
@@ -205,7 +269,7 @@ else
     # them) and BENCH_load.json gates p99 latency (its ns_per_op mean
     # is the noisiest column of a wall-clock load run), so both run
     # with -skip-ns; benchcmp still gates their own metrics.
-    for f in BENCH_obs.json BENCH_reliability.json BENCH_mc.json BENCH_load.json; do
+    for f in BENCH_obs.json BENCH_reliability.json BENCH_mc.json BENCH_load.json BENCH_format.json; do
         skip_ns=""
         if [ "$f" = "BENCH_mc.json" ] || [ "$f" = "BENCH_load.json" ]; then
             skip_ns="-skip-ns"
