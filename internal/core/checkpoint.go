@@ -130,15 +130,24 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	return ck, nil
 }
 
+// ErrCheckpointMismatch marks a resume rejected because the checkpoint
+// was taken from a different input graph or parameterization. Callers
+// that hand checkpoints off across process lives (the job daemon's
+// crash-recovery path) match it with errors.Is to distinguish "this
+// snapshot is stale — discard it and rerun from scratch" from a genuine
+// run failure.
+var ErrCheckpointMismatch = errors.New("core: checkpoint does not match this run")
+
 // validateAgainst rejects resumption when the checkpoint was taken from a
 // different input graph or parameterization. p must already have defaults
-// applied — checkpoints echo post-default values.
+// applied — checkpoints echo post-default values. Every rejection wraps
+// ErrCheckpointMismatch.
 func (ck *Checkpoint) validateAgainst(g *uncertain.Graph, p Params) error {
 	if h := GraphHash(g); h != ck.GraphHash {
-		return fmt.Errorf("core: checkpoint is for a different graph (hash %#x, input hashes to %#x)", ck.GraphHash, h)
+		return fmt.Errorf("%w: checkpoint is for a different graph (hash %#x, input hashes to %#x)", ErrCheckpointMismatch, ck.GraphHash, h)
 	}
 	mismatch := func(field string, ck, now any) error {
-		return fmt.Errorf("core: checkpoint %s mismatch: checkpoint has %v, run has %v", field, ck, now)
+		return fmt.Errorf("%w: checkpoint %s mismatch: checkpoint has %v, run has %v", ErrCheckpointMismatch, field, ck, now)
 	}
 	switch {
 	case ck.K != p.K:

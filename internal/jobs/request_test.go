@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"bytes"
+	"mime/multipart"
+	"strings"
+	"testing"
+
+	"chameleon/internal/uncertain"
+)
+
+func validSpec() Spec {
+	return Spec{K: 4, Epsilon: 0.05, Samples: 50, Seed: 9, GraphPath: "/tmp/g.tsv"}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := func() error { s := validSpec(); return s.Validate() }(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"k too small", func(s *Spec) { s.K = 1 }},
+		{"eps negative", func(s *Spec) { s.Epsilon = -0.1 }},
+		{"eps one", func(s *Spec) { s.Epsilon = 1 }},
+		{"unknown method", func(s *Spec) { s.Method = "bogus" }},
+		{"unknown sampling mode", func(s *Spec) { s.SamplingMode = "bogus" }},
+		{"negative samples", func(s *Spec) { s.Samples = -1 }},
+		{"target_rse out of range", func(s *Spec) { s.TargetRSE = 1.5 }},
+		{"max_samples without target_rse", func(s *Spec) { s.MaxSamples = 10 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("mutated spec accepted: %+v", s)
+			}
+			if !IsBadRequest(err) {
+				t.Fatalf("validation error is not a BadRequestError: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseSubmissionJSON(t *testing.T) {
+	spec, g, err := ParseSubmission("application/json",
+		strings.NewReader(`{"k": 4, "eps": 0.05, "graph_path": "/data/g.tsv"}`))
+	if err != nil {
+		t.Fatalf("valid JSON submission rejected: %v", err)
+	}
+	if g != nil {
+		t.Fatal("JSON submission returned a graph; the path should be loaded later")
+	}
+	if spec.K != 4 || spec.GraphPath != "/data/g.tsv" {
+		t.Fatalf("spec = %+v", spec)
+	}
+
+	bad := []struct {
+		name, body string
+	}{
+		{"no graph_path", `{"k": 4, "eps": 0.05}`},
+		{"unknown field", `{"k": 4, "eps": 0.05, "graph_path": "g", "bogus": 1}`},
+		{"trailing data", `{"k": 4, "eps": 0.05, "graph_path": "g"} {"again": true}`},
+		{"not json", `k=4`},
+		{"invalid params", `{"k": 1, "eps": 0.05, "graph_path": "g"}`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ParseSubmission("application/json", strings.NewReader(tc.body))
+			if err == nil || !IsBadRequest(err) {
+				t.Fatalf("bad body %q: err = %v, want BadRequestError", tc.body, err)
+			}
+		})
+	}
+
+	if _, _, err := ParseSubmission("text/plain", strings.NewReader("hi")); err == nil || !IsBadRequest(err) {
+		t.Fatalf("unsupported content type: err = %v", err)
+	}
+	if _, _, err := ParseSubmission("", strings.NewReader("hi")); err == nil || !IsBadRequest(err) {
+		t.Fatalf("empty content type: err = %v", err)
+	}
+}
+
+// multipartBody builds a submission body with the given parts. A nil
+// value skips that part.
+func multipartBody(t *testing.T, specJSON, graph []byte) (string, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if specJSON != nil {
+		fw, err := mw.CreateFormField("spec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Write(specJSON)
+	}
+	if graph != nil {
+		fw, err := mw.CreateFormFile("graph", "g.tsv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Write(graph)
+	}
+	mw.Close()
+	return mw.FormDataContentType(), &buf
+}
+
+func TestParseSubmissionMultipart(t *testing.T) {
+	graphTSV := []byte("3\n0\t1\t0.5\n1\t2\t0.8\n")
+	ct, body := multipartBody(t, []byte(`{"k": 2, "eps": 0.1}`), graphTSV)
+	spec, g, err := ParseSubmission(ct, body)
+	if err != nil {
+		t.Fatalf("valid multipart submission rejected: %v", err)
+	}
+	if g == nil || g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("uploaded graph decoded wrong: %+v", g)
+	}
+	if spec.K != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+
+	// A binary upload decodes through the same auto-detecting reader.
+	orig, _, _ := g, spec, err
+	var bin bytes.Buffer
+	if err := uncertain.WriteBinaryV2(&bin, orig); err != nil {
+		t.Fatal(err)
+	}
+	ct, body = multipartBody(t, []byte(`{"k": 2, "eps": 0.1}`), bin.Bytes())
+	_, g2, err := ParseSubmission(ct, body)
+	if err != nil {
+		t.Fatalf("v2 binary upload rejected: %v", err)
+	}
+	if g2.NumEdges() != orig.NumEdges() {
+		t.Fatalf("binary upload decoded %d edges, want %d", g2.NumEdges(), orig.NumEdges())
+	}
+
+	bad := []struct {
+		name  string
+		spec  []byte
+		graph []byte
+	}{
+		{"missing graph", []byte(`{"k": 2, "eps": 0.1}`), nil},
+		{"missing spec", nil, graphTSV},
+		{"graph_path with upload", []byte(`{"k": 2, "eps": 0.1, "graph_path": "g"}`), graphTSV},
+		{"undecodable graph", []byte(`{"k": 2, "eps": 0.1}`), []byte("not\ta\tgraph\nat all")},
+		{"truncated binary", []byte(`{"k": 2, "eps": 0.1}`), bin.Bytes()[:len(bin.Bytes())/2]},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			ct, body := multipartBody(t, tc.spec, tc.graph)
+			_, _, err := ParseSubmission(ct, body)
+			if err == nil || !IsBadRequest(err) {
+				t.Fatalf("err = %v, want BadRequestError", err)
+			}
+		})
+	}
+
+	if _, _, err := ParseSubmission("multipart/form-data", strings.NewReader("x")); err == nil || !IsBadRequest(err) {
+		t.Fatalf("multipart without boundary: err = %v", err)
+	}
+}

@@ -149,14 +149,8 @@ func (s *Server) Handler() http.Handler {
 		return nil
 	}
 	mux := http.NewServeMux()
-	builtin := map[string]bool{
-		"/": true, "/metrics": true, "/healthz": true, "/runs": true,
-		"/trace": true, "/debug/pprof/": true, "/debug/pprof/cmdline": true,
-		"/debug/pprof/profile": true, "/debug/pprof/symbol": true,
-		"/debug/pprof/trace": true,
-	}
 	for pat, h := range s.opts.Handlers {
-		if h == nil || builtin[pat] {
+		if h == nil || builtinPatterns[pat] {
 			continue
 		}
 		mux.Handle(pat, h)
@@ -322,6 +316,32 @@ func (s *Server) SetRunStatus(id, status string) {
 	}
 }
 
+// builtinPatterns is the telemetry contract: Options.Handlers cannot
+// override these, and the index page lists everything else separately.
+var builtinPatterns = map[string]bool{
+	"/": true, "/metrics": true, "/healthz": true, "/runs": true,
+	"/trace": true, "/debug/pprof/": true, "/debug/pprof/cmdline": true,
+	"/debug/pprof/profile": true, "/debug/pprof/symbol": true,
+	"/debug/pprof/trace": true,
+}
+
+// ExtraPatterns returns the non-builtin patterns actually mounted from
+// Options.Handlers, sorted. Empty (and nil-safe) when none are.
+func (s *Server) ExtraPatterns() []string {
+	if s == nil {
+		return nil
+	}
+	var pats []string
+	for pat, h := range s.opts.Handlers {
+		if h == nil || builtinPatterns[pat] {
+			continue
+		}
+		pats = append(pats, pat)
+	}
+	sort.Strings(pats)
+	return pats
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -329,6 +349,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "chameleon telemetry\n\n/metrics       Prometheus text exposition\n/healthz       liveness probe\n/runs          run records (JSON)\n/trace         live span trees (JSON)\n/debug/pprof/  runtime profiles\n")
+	if extra := s.ExtraPatterns(); len(extra) > 0 {
+		fmt.Fprintf(w, "\nmounted handlers\n")
+		for _, pat := range extra {
+			fmt.Fprintf(w, "%s\n", pat)
+		}
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

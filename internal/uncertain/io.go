@@ -119,7 +119,16 @@ func LoadFile(path string) (*Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	return ReadAuto(f)
+}
+
+// ReadAuto parses a graph from r with the same format auto-detection
+// LoadFile applies to files: the binary magic selects the binary
+// container (v1 or sectioned v2 by version word), anything else parses
+// as TSV. It is the entry point for streamed inputs — uploads, pipes —
+// where no file path exists to sniff.
+func ReadAuto(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err == nil && len(head) == 4 &&
 		binary.LittleEndian.Uint32(head) == binaryMagic {

@@ -1,0 +1,54 @@
+package chameleon
+
+import (
+	"errors"
+
+	"chameleon/internal/jobs"
+)
+
+// JobSpec is the client-supplied parameterization of one anonymization
+// job submitted to the job plane (cmd/chameleond).
+type JobSpec = jobs.Spec
+
+// Job is the durable record of one submitted job.
+type Job = jobs.Job
+
+// JobStatus is a Job plus the live σ-search progress the scheduler
+// layers on top.
+type JobStatus = jobs.Status
+
+// JobState is a job's lifecycle position: queued, running, done, failed
+// or cancelled.
+type JobState = jobs.State
+
+// JobStore is the spool-directory persistence layer: atomic writes for
+// every job artifact, so a SIGKILL never leaves torn state.
+type JobStore = jobs.Store
+
+// JobManager is the concurrent job scheduler: bounded queue, admission
+// control, per-job worker budgets, checkpoint-backed crash recovery.
+type JobManager = jobs.Manager
+
+// JobConfig parameterizes NewJobManager.
+type JobConfig = jobs.Config
+
+// JobAPI is the job plane's HTTP surface (POST /jobs and friends),
+// mountable next to /metrics and /query via Serve's extra handlers.
+type JobAPI = jobs.API
+
+// NewJobStore opens (creating if needed) a job spool directory.
+func NewJobStore(dir string) (*JobStore, error) { return jobs.NewStore(dir) }
+
+// NewJobManager builds a job scheduler; call Start with the daemon's
+// context, and Wait after that context ends.
+func NewJobManager(cfg JobConfig) *JobManager { return jobs.NewManager(cfg) }
+
+// NewJobAPI wires the job plane's HTTP handler tree over a manager.
+func NewJobAPI(m *JobManager) *JobAPI { return jobs.NewAPI(m) }
+
+// IsJobBusy reports whether err is an admission-control rejection; its
+// Retry-After hint travels in the jobs.BusyError it wraps.
+func IsJobBusy(err error) bool {
+	var busy *jobs.BusyError
+	return errors.As(err, &busy)
+}

@@ -35,7 +35,7 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
-echo "== go test -race -count=2 (telemetry, MC workers, CLI runner) =="
+echo "== go test -race -count=2 (telemetry, MC workers, CLI runner, job plane) =="
 # The expose differ, journal writer and quality streams are the
 # concurrency-heavy additions, and the reliability worker pools plus the
 # runner's signal/cancellation paths cross goroutines by design; a
@@ -49,7 +49,12 @@ echo "== go test -race -count=2 (telemetry, MC workers, CLI runner) =="
 # for the CSR differential oracle: it drives the estimator worker pools
 # over the packed read-only view, the one representation whose immutability
 # the race detector can actually vouch for.
-go test -race -count=2 ./internal/obs/... ./internal/query/... ./internal/reliability/... ./internal/uncertain/... ./internal/testkit/... ./cmd/internal/runner/...
+# internal/jobs is the job plane's scheduler: a worker pool, an
+# admission gate and an HTTP surface all mutating one manager under
+# concurrent submits, cancels and daemon shutdowns. (cmd/chameleond's
+# subprocess tests race in the main pass above and smoke below; they are
+# too heavy to double.)
+go test -race -count=2 ./internal/obs/... ./internal/query/... ./internal/reliability/... ./internal/uncertain/... ./internal/testkit/... ./internal/jobs/... ./cmd/internal/runner/...
 
 coverage_floor="${COVERAGE_FLOOR:-78.4}"
 echo "== coverage (floor ${coverage_floor}%) =="
@@ -79,7 +84,15 @@ else
     go test -run '^$' -fuzz '^FuzzReadTSV$'            -fuzztime "$fuzz_budget" ./internal/uncertain/
     go test -run '^$' -fuzz '^FuzzGraphRoundTrip$'     -fuzztime "$fuzz_budget" ./internal/uncertain/
     go test -run '^$' -fuzz '^FuzzDegreeDistribution$' -fuzztime "$fuzz_budget" ./internal/privacy/
+    go test -run '^$' -fuzz '^FuzzJobRequest$'         -fuzztime "$fuzz_budget" ./internal/jobs/
 fi
+
+echo "== chameleond smoke (burst admission + plane responsiveness) =="
+# The job daemon under a 16-submission burst against 2 workers and a
+# 2-deep queue: some jobs land (202), overload sheds with 429 +
+# Retry-After, every accepted job completes, and the /metrics and /query
+# planes keep answering while the anonymizations run.
+go test -race -count=1 -run '^TestDaemonLoad$' -v ./cmd/chameleond/
 
 # Both BENCH artifacts share one schema — {name, ns_per_op,
 # allocs_per_op, iterations} — so cmd/benchcmp can gate either file.
